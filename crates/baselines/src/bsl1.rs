@@ -1,0 +1,54 @@
+//! BSL1: no query caching.
+//!
+//! The straw-man from Section I ("Why is USI Challenging?"): every query
+//! locates its occurrences in the suffix array and aggregates local
+//! utilities through `PSW`. Exact, `O(n)` space, but `O(m log n + occ)`
+//! per query — slow exactly on the frequent patterns users care about.
+
+use crate::common::{BaselineAnswer, QueryBaseline, TextBackend};
+use usi_strings::{GlobalUtility, WeightedString};
+
+/// The no-cache baseline.
+#[derive(Debug, Clone)]
+pub struct Bsl1 {
+    backend: TextBackend,
+}
+
+impl Bsl1 {
+    /// Builds the SA + PSW substrate.
+    pub fn new(ws: WeightedString, utility: GlobalUtility, seed: u64) -> Self {
+        Self { backend: TextBackend::new(ws, utility, seed) }
+    }
+}
+
+impl QueryBaseline for Bsl1 {
+    fn name(&self) -> &'static str {
+        "BSL1"
+    }
+
+    fn query(&mut self, pattern: &[u8]) -> BaselineAnswer {
+        let acc = self.backend.compute(pattern);
+        self.backend.answer(acc, false)
+    }
+
+    fn index_size(&self) -> usize {
+        self.backend.base_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn answers_are_exact_and_never_cached() {
+        let ws = WeightedString::uniform(b"banana".repeat(5), 1.0);
+        let u = GlobalUtility::sum_of_sums();
+        let mut bsl = Bsl1::new(ws.clone(), u, 3);
+        for _ in 0..3 {
+            let a = bsl.query(b"ana");
+            assert!(!a.cached);
+            assert_eq!(a.occurrences, u.brute_force(&ws, b"ana").count());
+        }
+    }
+}

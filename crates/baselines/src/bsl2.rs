@@ -1,0 +1,76 @@
+//! BSL2: LRU query caching.
+//!
+//! Keeps the precomputed global utilities of the `K` most *recently*
+//! queried patterns in a hash table (an [`crate::lru::LruCache`] keyed
+//! like the USI hash table). Cache misses fall back to the suffix array.
+
+use crate::common::{BaselineAnswer, QueryBaseline, TextBackend};
+use crate::lru::LruCache;
+use usi_strings::{GlobalUtility, UtilityAccumulator, WeightedString};
+
+/// The LRU baseline.
+#[derive(Debug, Clone)]
+pub struct Bsl2 {
+    backend: TextBackend,
+    cache: LruCache<(u32, u64), UtilityAccumulator>,
+}
+
+impl Bsl2 {
+    /// Builds the substrate with a `k`-entry LRU cache.
+    pub fn new(ws: WeightedString, utility: GlobalUtility, k: usize, seed: u64) -> Self {
+        Self {
+            backend: TextBackend::new(ws, utility, seed),
+            cache: LruCache::new(k.max(1)),
+        }
+    }
+}
+
+impl QueryBaseline for Bsl2 {
+    fn name(&self) -> &'static str {
+        "BSL2"
+    }
+
+    fn query(&mut self, pattern: &[u8]) -> BaselineAnswer {
+        let key = self.backend.key(pattern);
+        if let Some(acc) = self.cache.get(&key) {
+            let acc = *acc;
+            return self.backend.answer(acc, true);
+        }
+        let acc = self.backend.compute(pattern);
+        self.cache.insert(key, acc);
+        self.backend.answer(acc, false)
+    }
+
+    fn index_size(&self) -> usize {
+        self.backend.base_size() + self.cache.state_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_identical_query_is_cached() {
+        let ws = WeightedString::uniform(b"mississippi".repeat(3), 1.0);
+        let mut bsl = Bsl2::new(ws, GlobalUtility::sum_of_sums(), 4, 5);
+        let first = bsl.query(b"issi");
+        assert!(!first.cached);
+        let second = bsl.query(b"issi");
+        assert!(second.cached);
+        assert_eq!(first.value, second.value);
+        assert_eq!(first.occurrences, second.occurrences);
+    }
+
+    #[test]
+    fn eviction_keeps_answers_correct() {
+        let ws = WeightedString::uniform(b"abcabcabc".to_vec(), 1.0);
+        let u = GlobalUtility::sum_of_sums();
+        let mut bsl = Bsl2::new(ws.clone(), u, 2, 6);
+        let pats: Vec<&[u8]> = vec![b"a", b"b", b"c", b"ab", b"bc", b"a", b"abc"];
+        for pat in pats {
+            let a = bsl.query(pat);
+            assert_eq!(a.occurrences, u.brute_force(&ws, pat).count(), "{pat:?}");
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! BSL3: Top-K-seen-so-far query caching.
+//!
+//! Caches the utilities of the `K` most *frequently* queried patterns.
+//! Query counts of cached patterns live in a hash map; eviction picks the
+//! minimum count through a lazily-cleaned min-heap (the paper's
+//! "auxiliary data structure which offers the functionality of a min-heap
+//! on substring frequency and of a hash table").
+
+use crate::common::{BaselineAnswer, QueryBaseline, TextBackend};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use usi_strings::{FxHashMap, GlobalUtility, UtilityAccumulator, WeightedString};
+
+type Key = (u32, u64);
+
+/// The frequency-cache baseline with exact query counts.
+#[derive(Debug, Clone)]
+pub struct Bsl3 {
+    backend: TextBackend,
+    k: usize,
+    /// key → (query count, cached utility)
+    cache: FxHashMap<Key, (u64, UtilityAccumulator)>,
+    /// lazy min-heap of (count, key)
+    heap: BinaryHeap<Reverse<(u64, Key)>>,
+}
+
+impl Bsl3 {
+    /// Builds the substrate with a `k`-entry frequency cache.
+    pub fn new(ws: WeightedString, utility: GlobalUtility, k: usize, seed: u64) -> Self {
+        Self {
+            backend: TextBackend::new(ws, utility, seed),
+            k: k.max(1),
+            cache: FxHashMap::default(),
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    fn pop_true_min(&mut self) -> Option<(u64, Key)> {
+        while let Some(&Reverse((count, key))) = self.heap.peek() {
+            match self.cache.get(&key) {
+                Some(&(current, _)) if current == count => return Some((count, key)),
+                _ => {
+                    self.heap.pop();
+                }
+            }
+        }
+        None
+    }
+}
+
+impl QueryBaseline for Bsl3 {
+    fn name(&self) -> &'static str {
+        "BSL3"
+    }
+
+    fn query(&mut self, pattern: &[u8]) -> BaselineAnswer {
+        let key = self.backend.key(pattern);
+        if let Some((count, acc)) = self.cache.get_mut(&key) {
+            *count += 1;
+            let (count, acc) = (*count, *acc);
+            self.heap.push(Reverse((count, key)));
+            return self.backend.answer(acc, true);
+        }
+        let acc = self.backend.compute(pattern);
+        if self.cache.len() < self.k {
+            self.cache.insert(key, (1, acc));
+            self.heap.push(Reverse((1, key)));
+        } else if let Some((min_count, min_key)) = self.pop_true_min() {
+            // replace the least frequently queried entry; the newcomer
+            // starts at min + 1 (SpaceSaving-style) so it is not
+            // immediately evicted by the next miss
+            self.heap.pop();
+            self.cache.remove(&min_key);
+            self.cache.insert(key, (min_count + 1, acc));
+            self.heap.push(Reverse((min_count + 1, key)));
+        }
+        self.backend.answer(acc, false)
+    }
+
+    fn index_size(&self) -> usize {
+        self.backend.base_size()
+            + self.cache.capacity()
+                * (std::mem::size_of::<(Key, (u64, UtilityAccumulator))>() + 1)
+            + self.heap.len() * std::mem::size_of::<Reverse<(u64, Key)>>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_queries_stay_cached() {
+        let ws = WeightedString::uniform(b"abracadabra".repeat(4), 1.0);
+        let mut bsl = Bsl3::new(ws, GlobalUtility::sum_of_sums(), 2, 7);
+        // make "abra" hot
+        for _ in 0..5 {
+            bsl.query(b"abra");
+        }
+        // a burst of one-off queries must not evict it
+        for pat in [&b"ac"[..], b"ad", b"br", b"ca", b"da"] {
+            bsl.query(pat);
+        }
+        assert!(bsl.query(b"abra").cached);
+    }
+
+    #[test]
+    fn answers_always_exact() {
+        let ws = WeightedString::uniform(b"aabbaabb".to_vec(), 2.0);
+        let u = GlobalUtility::sum_of_sums();
+        let mut bsl = Bsl3::new(ws.clone(), u, 2, 8);
+        for pat in [&b"a"[..], b"aa", b"ab", b"b", b"bb", b"a", b"ab", b"zz"] {
+            let a = bsl.query(pat);
+            let want = u.brute_force(&ws, pat);
+            assert_eq!(a.occurrences, want.count(), "{pat:?}");
+            assert_eq!(a.value, want.finish(u.aggregator), "{pat:?}");
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! BSL4: space-efficient Top-K-seen-so-far query caching.
+//!
+//! Like BSL3, but the query-frequency bookkeeping uses a count-min
+//! sketch (as in HeavyKeeper \[24\]) instead of exact per-key counts, so
+//! the auxiliary state is `O(sketch)` rather than one counter per cached
+//! key. Eviction candidates are ranked by their sketch estimates through
+//! a lazily-refreshed min-heap.
+
+use crate::common::{BaselineAnswer, QueryBaseline, TextBackend};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use usi_streams::CmSketch;
+use usi_strings::{FxHashMap, GlobalUtility, UtilityAccumulator, WeightedString};
+
+type Key = (u32, u64);
+
+#[inline]
+fn sketch_item(key: Key) -> u64 {
+    (key.0 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ key.1
+}
+
+/// The sketch-based frequency-cache baseline.
+#[derive(Debug, Clone)]
+pub struct Bsl4 {
+    backend: TextBackend,
+    k: usize,
+    sketch: CmSketch,
+    cache: FxHashMap<Key, UtilityAccumulator>,
+    /// lazy min-heap of (estimate at push time, key)
+    heap: BinaryHeap<Reverse<(u64, Key)>>,
+}
+
+impl Bsl4 {
+    /// Builds the substrate with a `k`-entry cache and a sketch sized to
+    /// `4k` counters × 4 rows.
+    pub fn new(ws: WeightedString, utility: GlobalUtility, k: usize, seed: u64) -> Self {
+        let k = k.max(1);
+        Self {
+            backend: TextBackend::new(ws, utility, seed),
+            k,
+            sketch: CmSketch::new((4 * k).max(64), 4, seed ^ 0xb514),
+            cache: FxHashMap::default(),
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Pops the cached key with the smallest *current* sketch estimate,
+    /// lazily refreshing stale heap entries.
+    fn pop_min_estimate(&mut self) -> Option<Key> {
+        while let Some(Reverse((stale_est, key))) = self.heap.pop() {
+            if !self.cache.contains_key(&key) {
+                continue;
+            }
+            let current = self.sketch.estimate(sketch_item(key));
+            if current > stale_est {
+                // estimate grew since the entry was pushed: refresh it
+                self.heap.push(Reverse((current, key)));
+                continue;
+            }
+            return Some(key);
+        }
+        None
+    }
+}
+
+impl QueryBaseline for Bsl4 {
+    fn name(&self) -> &'static str {
+        "BSL4"
+    }
+
+    fn query(&mut self, pattern: &[u8]) -> BaselineAnswer {
+        let key = self.backend.key(pattern);
+        self.sketch.insert(sketch_item(key));
+        if let Some(acc) = self.cache.get(&key) {
+            let acc = *acc;
+            return self.backend.answer(acc, true);
+        }
+        let acc = self.backend.compute(pattern);
+        if self.cache.len() < self.k {
+            self.cache.insert(key, acc);
+            self.heap
+                .push(Reverse((self.sketch.estimate(sketch_item(key)), key)));
+        } else {
+            let est_new = self.sketch.estimate(sketch_item(key));
+            if let Some(min_key) = self.pop_min_estimate() {
+                let est_min = self.sketch.estimate(sketch_item(min_key));
+                if est_new >= est_min {
+                    self.cache.remove(&min_key);
+                    self.cache.insert(key, acc);
+                    self.heap.push(Reverse((est_new, key)));
+                } else {
+                    self.heap.push(Reverse((est_min, min_key)));
+                }
+            }
+        }
+        self.backend.answer(acc, false)
+    }
+
+    fn index_size(&self) -> usize {
+        self.backend.base_size()
+            + self.sketch.state_bytes()
+            + self.cache.capacity() * (std::mem::size_of::<(Key, UtilityAccumulator)>() + 1)
+            + self.heap.len() * std::mem::size_of::<Reverse<(u64, Key)>>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_queries_get_cached_eventually() {
+        let ws = WeightedString::uniform(b"bananabanana".repeat(4), 1.0);
+        let mut bsl = Bsl4::new(ws, GlobalUtility::sum_of_sums(), 2, 9);
+        for _ in 0..10 {
+            bsl.query(b"ana");
+        }
+        assert!(bsl.query(b"ana").cached);
+    }
+
+    #[test]
+    fn answers_always_exact_under_churn() {
+        let ws = WeightedString::uniform(b"abcdabcd".to_vec(), 1.5);
+        let u = GlobalUtility::sum_of_sums();
+        let mut bsl = Bsl4::new(ws.clone(), u, 2, 10);
+        let pats: Vec<&[u8]> = vec![
+            b"a", b"b", b"c", b"d", b"ab", b"bc", b"cd", b"da", b"a", b"ab", b"abcd", b"zz",
+        ];
+        for pat in pats {
+            let a = bsl.query(pat);
+            let want = u.brute_force(&ws, pat);
+            assert_eq!(a.occurrences, want.count(), "{pat:?}");
+            assert_eq!(a.value, want.finish(u.aggregator), "{pat:?}");
+        }
+    }
+
+    #[test]
+    fn cache_never_exceeds_k() {
+        let ws = WeightedString::uniform(b"xyxyxyxy".to_vec(), 1.0);
+        let mut bsl = Bsl4::new(ws, GlobalUtility::sum_of_sums(), 3, 11);
+        for i in 0..50u8 {
+            let pat = vec![b'x', b'y', i % 4 + b'a'];
+            bsl.query(&pat);
+        }
+        assert!(bsl.cache.len() <= 3);
+    }
+}

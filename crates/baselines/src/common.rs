@@ -1,0 +1,136 @@
+//! Shared substrate of the query baselines: suffix array + `PSW`, plus
+//! the baseline trait the experiment harness sweeps over.
+
+use usi_strings::{
+    Fingerprinter, GlobalUtility, HeapSize, LocalIndex, UtilityAccumulator, WeightedString,
+};
+use usi_suffix::{suffix_array, SuffixArraySearcher};
+
+/// Result of a baseline query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineAnswer {
+    /// The global utility `U(P)` under the configured aggregator.
+    pub value: Option<f64>,
+    /// Number of occurrences of the pattern.
+    pub occurrences: u64,
+    /// Whether the answer came from the baseline's cache.
+    pub cached: bool,
+}
+
+/// Interface shared by BSL1–BSL4 (and adapters around `UsiIndex`):
+/// queries may mutate internal caches.
+pub trait QueryBaseline {
+    /// Report label (`"BSL1"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Answers `U(P)`.
+    fn query(&mut self, pattern: &[u8]) -> BaselineAnswer;
+
+    /// Total index size in bytes (text, weights, SA, PSW, cache).
+    fn index_size(&self) -> usize;
+}
+
+/// The exact query substrate all baselines share: suffix array + `PSW`
+/// over the weighted string, computing `U(P)` on the fly
+/// (`O(m log n + occ)`).
+#[derive(Debug, Clone)]
+pub struct TextBackend {
+    ws: WeightedString,
+    sa: Vec<u32>,
+    psw: LocalIndex,
+    utility: GlobalUtility,
+    fingerprinter: Fingerprinter,
+}
+
+impl TextBackend {
+    /// Builds SA and PSW for `ws`.
+    pub fn new(ws: WeightedString, utility: GlobalUtility, fingerprint_seed: u64) -> Self {
+        let sa = suffix_array(ws.text());
+        let psw = utility.local_index(ws.weights());
+        Self {
+            ws,
+            sa,
+            psw,
+            utility,
+            fingerprinter: Fingerprinter::with_base(fingerprint_seed),
+        }
+    }
+
+    /// The weighted string.
+    pub fn weighted_string(&self) -> &WeightedString {
+        &self.ws
+    }
+
+    /// The utility function.
+    pub fn utility(&self) -> GlobalUtility {
+        self.utility
+    }
+
+    /// Cache key for a pattern: `(length, Karp–Rabin fingerprint)` —
+    /// the same keying the USI hash table uses.
+    pub fn key(&self, pattern: &[u8]) -> (u32, u64) {
+        (pattern.len() as u32, self.fingerprinter.fingerprint(pattern))
+    }
+
+    /// Computes `U(P)` from scratch via the suffix array and `PSW`.
+    pub fn compute(&self, pattern: &[u8]) -> UtilityAccumulator {
+        let mut acc = UtilityAccumulator::new();
+        let m = pattern.len();
+        if m == 0 || m > self.ws.len() {
+            return acc;
+        }
+        let searcher = SuffixArraySearcher::new(self.ws.text(), &self.sa);
+        if let Some(range) = searcher.interval(pattern) {
+            for &p in &self.sa[range] {
+                acc.add(self.psw.local(p as usize, m));
+            }
+        }
+        acc
+    }
+
+    /// Finishes an accumulator under the configured aggregator.
+    pub fn answer(&self, acc: UtilityAccumulator, cached: bool) -> BaselineAnswer {
+        BaselineAnswer {
+            value: acc.finish(self.utility.aggregator),
+            occurrences: acc.count(),
+            cached,
+        }
+    }
+
+    /// Size of the shared structures in bytes.
+    pub fn base_size(&self) -> usize {
+        self.ws.text().len()
+            + std::mem::size_of_val(self.ws.weights())
+            + self.sa.heap_bytes()
+            + self.psw.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_matches_brute_force() {
+        let ws = WeightedString::new(
+            b"abracadabra".to_vec(),
+            vec![1.0, 2.0, 0.5, 1.0, 1.5, 0.25, 1.0, 2.0, 0.5, 1.0, 3.0],
+        )
+        .unwrap();
+        let u = GlobalUtility::sum_of_sums();
+        let backend = TextBackend::new(ws.clone(), u, 1);
+        for pat in [&b"a"[..], b"abra", b"bra", b"x", b"abracadabra", b""] {
+            let want = u.brute_force(&ws, pat);
+            let got = backend.compute(pat);
+            assert_eq!(got.count(), want.count(), "{pat:?}");
+            assert_eq!(got.finish(u.aggregator), want.finish(u.aggregator), "{pat:?}");
+        }
+    }
+
+    #[test]
+    fn keys_distinguish_lengths() {
+        let ws = WeightedString::uniform(b"aaaa".to_vec(), 1.0);
+        let backend = TextBackend::new(ws, GlobalUtility::sum_of_sums(), 2);
+        assert_ne!(backend.key(b"a"), backend.key(b"aa"));
+    }
+}

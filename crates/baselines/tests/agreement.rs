@@ -1,0 +1,83 @@
+//! All baselines and the USI index agree on every query — they differ
+//! only in speed, never in answers.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use usi_baselines::{Bsl1, Bsl2, Bsl3, Bsl4, QueryBaseline};
+use usi_core::UsiBuilder;
+use usi_strings::{GlobalUtility, WeightedString};
+
+#[test]
+fn baselines_agree_with_usi_index_on_random_workload() {
+    let mut rng = StdRng::seed_from_u64(55);
+    let n = 400;
+    let text: Vec<u8> = (0..n).map(|_| b'a' + rng.gen_range(0..4u8)).collect();
+    let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..1.0)).collect();
+    let ws = WeightedString::new(text.clone(), weights).unwrap();
+    let u = GlobalUtility::sum_of_sums();
+    let k = 16;
+
+    let usi = UsiBuilder::new().with_k(k).deterministic(1).build(ws.clone());
+    let mut baselines: Vec<Box<dyn QueryBaseline>> = vec![
+        Box::new(Bsl1::new(ws.clone(), u, 2)),
+        Box::new(Bsl2::new(ws.clone(), u, k, 3)),
+        Box::new(Bsl3::new(ws.clone(), u, k, 4)),
+        Box::new(Bsl4::new(ws.clone(), u, k, 5)),
+    ];
+
+    // mixed workload: hot repeats, random substrings, absent patterns
+    let mut queries: Vec<Vec<u8>> = Vec::new();
+    for _ in 0..150 {
+        match rng.gen_range(0..3) {
+            0 => {
+                let i = rng.gen_range(0..n - 3);
+                queries.push(text[i..i + 3].to_vec()); // likely-hot trigram
+            }
+            1 => {
+                let m = rng.gen_range(1..10usize);
+                let i = rng.gen_range(0..n - m);
+                queries.push(text[i..i + m].to_vec());
+            }
+            _ => {
+                let m = rng.gen_range(1..6usize);
+                queries.push((0..m).map(|_| b'w' + rng.gen_range(0..3u8)).collect());
+            }
+        }
+    }
+
+    for q in &queries {
+        let want = usi.query(q);
+        for b in baselines.iter_mut() {
+            let got = b.query(q);
+            assert_eq!(got.occurrences, want.occurrences, "{} on {q:?}", b.name());
+            match (got.value, want.value) {
+                (Some(a), Some(bv)) => assert!(
+                    (a - bv).abs() < 1e-6 * (1.0 + bv.abs()),
+                    "{} value mismatch on {q:?}",
+                    b.name()
+                ),
+                (a, bv) => assert_eq!(a, bv, "{} on {q:?}", b.name()),
+            }
+        }
+    }
+}
+
+#[test]
+fn index_sizes_are_comparable() {
+    // Fig. 6k–p: all five structures are SA-dominated and within a small
+    // factor of each other.
+    let ws = WeightedString::uniform(b"abcd".repeat(500), 1.0);
+    let u = GlobalUtility::sum_of_sums();
+    let k = 50;
+    let usi = UsiBuilder::new().with_k(k).deterministic(2).build(ws.clone());
+    let sizes = [
+        Bsl1::new(ws.clone(), u, 2).index_size(),
+        Bsl2::new(ws.clone(), u, k, 3).index_size(),
+        Bsl3::new(ws.clone(), u, k, 4).index_size(),
+        Bsl4::new(ws.clone(), u, k, 5).index_size(),
+        usi.size_breakdown().total(),
+    ];
+    let min = *sizes.iter().min().unwrap() as f64;
+    let max = *sizes.iter().max().unwrap() as f64;
+    assert!(max / min < 2.0, "sizes too far apart: {sizes:?}");
+}

@@ -1,0 +1,47 @@
+//! Criterion micro-benchmarks for the four top-K substring miners
+//! (the per-point measurements behind Fig. 5e–j).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use usi_bench::{run_miner, MinerKind};
+use usi_datasets::Dataset;
+
+fn bench_miners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("miners_fig5");
+    group.sample_size(10);
+    for ds in [Dataset::Xml, Dataset::Hum] {
+        let n = 60_000;
+        let ws = ds.generate(n, 7);
+        let k = (n / 100).max(10);
+        let s = ds.spec().default_s;
+        for kind in [
+            MinerKind::Exact,
+            MinerKind::Approximate { s },
+            MinerKind::TopKTrie,
+            MinerKind::SubstringHk,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), ds.spec().name),
+                &kind,
+                |b, &kind| b.iter(|| run_miner(kind, ws.text(), k, 1)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_at_rounds(c: &mut Criterion) {
+    // Fig. 5i,j: AT runtime falls as s grows.
+    let mut group = c.benchmark_group("at_rounds_fig5ij");
+    group.sample_size(10);
+    let ws = Dataset::Xml.generate(60_000, 7);
+    let k = 600;
+    for s in [4usize, 8, 20, 40] {
+        group.bench_with_input(BenchmarkId::from_parameter(s), &s, |b, &s| {
+            b.iter(|| run_miner(MinerKind::Approximate { s }, ws.text(), k, 1))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_miners, bench_at_rounds);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Shared experiment context: dataset scaling, seeds, parameter sweeps.
+
+use usi_datasets::{Dataset, ALL_DATASETS};
+use usi_strings::WeightedString;
+
+/// Scaling and output configuration shared by all experiments.
+#[derive(Debug, Clone)]
+pub struct ExperimentContext {
+    /// Multiplier on every dataset's default (already laptop-scaled)
+    /// length. `1.0` ≈ a few minutes for the full suite.
+    pub scale: f64,
+    /// Master seed: all generators derive from it.
+    pub seed: u64,
+    /// Output directory for TSV reports.
+    pub out_dir: String,
+}
+
+impl Default for ExperimentContext {
+    fn default() -> Self {
+        Self { scale: 1.0, seed: 0xdecade, out_dir: "reports".into() }
+    }
+}
+
+impl ExperimentContext {
+    /// Scaled text length for a dataset.
+    pub fn n_for(&self, ds: Dataset) -> usize {
+        ((ds.spec().default_n as f64 * self.scale) as usize).max(1_000)
+    }
+
+    /// Generates the dataset at the scaled length.
+    pub fn generate(&self, ds: Dataset) -> WeightedString {
+        ds.generate(self.n_for(ds), self.seed ^ ds.spec().sigma as u64)
+    }
+
+    /// Generates a prefix-scaled family (the paper's "varying n" axes):
+    /// fractions 1/5, 2/5, …, 5/5 of the scaled length.
+    pub fn n_sweep(&self, ds: Dataset) -> Vec<usize> {
+        let n = self.n_for(ds);
+        (1..=5).map(|i| n * i / 5).collect()
+    }
+
+    /// The default `K` for a dataset at length `n` (Table II's bold
+    /// values, expressed as fractions of `n`).
+    pub fn default_k(&self, ds: Dataset, n: usize) -> usize {
+        ((n as f64 * ds.spec().default_k_frac) as usize).max(10)
+    }
+
+    /// Default sampling rounds `s` (Table II).
+    pub fn default_s(&self, ds: Dataset) -> usize {
+        ds.spec().default_s
+    }
+
+    /// The `s` sweep of Figs. 3j/4/5 (clamped to sensible values).
+    pub fn s_sweep(&self, ds: Dataset) -> Vec<usize> {
+        match ds {
+            Dataset::Iot => vec![4, 6, 10, 20, 40],
+            Dataset::Ecoli => vec![6, 8, 20, 40, 80],
+            _ => vec![4, 6, 20, 40, 80],
+        }
+    }
+
+    /// All datasets.
+    pub fn datasets(&self) -> [Dataset; 5] {
+        ALL_DATASETS
+    }
+
+    /// Number of workload queries for a dataset (paper: 0.1M–70M,
+    /// scaled down proportionally here).
+    pub fn query_count(&self, ds: Dataset) -> usize {
+        (self.n_for(ds) / 40).clamp(500, 20_000)
+    }
+}
+
+/// The paper's `K` sweep for a dataset (Fig. 3a–e / Fig. 6a–e x-axes):
+/// the same *fractions of n* as Table II's ranges, five points ending at
+/// twice the default.
+pub fn scaled_k_sweep(ctx: &ExperimentContext, ds: Dataset, n: usize) -> Vec<usize> {
+    let default_k = ctx.default_k(ds, n);
+    [1usize, 2, 4, 8, 16]
+        .iter()
+        .map(|&m| (default_k * m / 8).max(5))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_respects_floor() {
+        let ctx = ExperimentContext { scale: 1e-9, ..Default::default() };
+        assert_eq!(ctx.n_for(Dataset::Adv), 1_000);
+    }
+
+    #[test]
+    fn sweeps_are_monotone() {
+        let ctx = ExperimentContext::default();
+        for ds in ALL_DATASETS {
+            let sweep = scaled_k_sweep(&ctx, ds, ctx.n_for(ds));
+            assert!(sweep.windows(2).all(|w| w[0] <= w[1]));
+            let ns = ctx.n_sweep(ds);
+            assert!(ns.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn generation_uses_scaled_length() {
+        let ctx = ExperimentContext { scale: 0.01, ..Default::default() };
+        let ws = ctx.generate(Dataset::Adv);
+        assert_eq!(ws.len(), ctx.n_for(Dataset::Adv));
+    }
+}

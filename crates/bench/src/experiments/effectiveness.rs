@@ -1,0 +1,147 @@
+//! Figs. 3 and 4: effectiveness of the top-K substring miners
+//! (Accuracy and NDCG of AT / TT / SH against the exact top-K).
+
+use crate::context::{scaled_k_sweep, ExperimentContext};
+use crate::miners::{run_miner, score_run, MinerKind};
+use crate::report::Report;
+use usi_core::metrics::EffectivenessReport;
+use usi_core::oracle::exact_top_k;
+use usi_datasets::Dataset;
+
+/// Scores AT / TT / SH on one `(text, k, s)` configuration.
+fn score_all(text: &[u8], k: usize, s: usize, seed: u64) -> [EffectivenessReport; 3] {
+    let (exact, sa) = exact_top_k(text, k);
+    let kinds = [MinerKind::Approximate { s }, MinerKind::TopKTrie, MinerKind::SubstringHk];
+    kinds.map(|kind| {
+        let run = run_miner(kind, text, k, seed);
+        score_run(text, &sa, &exact, &run)
+    })
+}
+
+/// Fig. 3a–e: Accuracy vs `K` (five values per dataset, default `s`).
+pub fn accuracy_vs_k(ctx: &ExperimentContext) -> Vec<Report> {
+    let mut report = Report::new(
+        "fig3-accuracy-k",
+        "Accuracy (%) of AT/TT/SH vs K (Fig. 3a-e; ET is exact by definition)",
+        &["dataset", "n", "K", "s", "AT", "TT", "SH"],
+    );
+    for ds in ctx.datasets() {
+        let ws = ctx.generate(ds);
+        let n = ws.len();
+        let s = ctx.default_s(ds);
+        for k in scaled_k_sweep(ctx, ds, n) {
+            let [at, tt, sh] = score_all(ws.text(), k, s, ctx.seed);
+            report.rowf(&[
+                &ds.spec().name,
+                &n,
+                &k,
+                &s,
+                &format!("{:.1}", at.accuracy * 100.0),
+                &format!("{:.1}", tt.accuracy * 100.0),
+                &format!("{:.1}", sh.accuracy * 100.0),
+            ]);
+        }
+    }
+    vec![report]
+}
+
+/// Fig. 3f–i: Accuracy vs `n` (five prefixes per dataset).
+pub fn accuracy_vs_n(ctx: &ExperimentContext) -> Vec<Report> {
+    let mut report = Report::new(
+        "fig3-accuracy-n",
+        "Accuracy (%) of AT/TT/SH vs n (Fig. 3f-i)",
+        &["dataset", "n", "K", "s", "AT", "TT", "SH"],
+    );
+    for ds in ctx.datasets() {
+        let full = ctx.generate(ds);
+        let s = ctx.default_s(ds);
+        for n in ctx.n_sweep(ds) {
+            let text = &full.text()[..n];
+            let k = ctx.default_k(ds, n);
+            let [at, tt, sh] = score_all(text, k, s, ctx.seed);
+            report.rowf(&[
+                &ds.spec().name,
+                &n,
+                &k,
+                &s,
+                &format!("{:.1}", at.accuracy * 100.0),
+                &format!("{:.1}", tt.accuracy * 100.0),
+                &format!("{:.1}", sh.accuracy * 100.0),
+            ]);
+        }
+    }
+    vec![report]
+}
+
+/// Fig. 3j / 4a–c: Accuracy of AT vs `s`.
+pub fn accuracy_vs_s(ctx: &ExperimentContext) -> Vec<Report> {
+    let mut report = Report::new(
+        "fig4-accuracy-s",
+        "Accuracy (%) of AT vs s (Fig. 3j, 4a-c)",
+        &["dataset", "n", "K", "s", "AT"],
+    );
+    for ds in ctx.datasets() {
+        let ws = ctx.generate(ds);
+        let n = ws.len();
+        let k = ctx.default_k(ds, n);
+        let (exact, sa) = exact_top_k(ws.text(), k);
+        for s in ctx.s_sweep(ds) {
+            let run = run_miner(MinerKind::Approximate { s }, ws.text(), k, ctx.seed);
+            let score = score_run(ws.text(), &sa, &exact, &run);
+            report.rowf(&[
+                &ds.spec().name,
+                &n,
+                &k,
+                &s,
+                &format!("{:.1}", score.accuracy * 100.0),
+            ]);
+        }
+    }
+    vec![report]
+}
+
+/// Fig. 4d: NDCG of AT / TT / SH on all datasets (defaults).
+pub fn ndcg_all(ctx: &ExperimentContext) -> Vec<Report> {
+    let mut report = Report::new(
+        "fig4-ndcg",
+        "NDCG of AT/TT/SH at default K and s (Fig. 4d)",
+        &["dataset", "n", "K", "s", "AT", "TT", "SH"],
+    );
+    for ds in ctx.datasets() {
+        let ws = ctx.generate(ds);
+        let n = ws.len();
+        let k = ctx.default_k(ds, n);
+        let s = ctx.default_s(ds);
+        let [at, tt, sh] = score_all(ws.text(), k, s, ctx.seed);
+        report.rowf(&[
+            &ds.spec().name,
+            &n,
+            &k,
+            &s,
+            &format!("{:.4}", at.ndcg),
+            &format!("{:.4}", tt.ndcg),
+            &format!("{:.4}", sh.ndcg),
+        ]);
+    }
+    vec![report]
+}
+
+/// Fig. 4e: NDCG of AT vs `s` (ECOLI in the paper).
+pub fn ndcg_vs_s(ctx: &ExperimentContext) -> Vec<Report> {
+    let mut report = Report::new(
+        "fig4-ndcg-s",
+        "NDCG of AT vs s on ECOLI (Fig. 4e)",
+        &["dataset", "n", "K", "s", "NDCG"],
+    );
+    let ds = Dataset::Ecoli;
+    let ws = ctx.generate(ds);
+    let n = ws.len();
+    let k = ctx.default_k(ds, n);
+    let (exact, sa) = exact_top_k(ws.text(), k);
+    for s in ctx.s_sweep(ds) {
+        let run = run_miner(MinerKind::Approximate { s }, ws.text(), k, ctx.seed);
+        let score = score_run(ws.text(), &sa, &exact, &run);
+        report.rowf(&[&ds.spec().name, &n, &k, &s, &format!("{:.4}", score.ndcg)]);
+    }
+    vec![report]
+}

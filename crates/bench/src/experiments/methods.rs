@@ -1,0 +1,155 @@
+//! The six query-answering methods of Fig. 6: `UET`, `UAT` (the paper's
+//! data structures) and `BSL1`–`BSL4`, behind one trait.
+
+use std::time::{Duration, Instant};
+use usi_baselines::{BaselineAnswer, Bsl1, Bsl2, Bsl3, Bsl4, QueryBaseline};
+use usi_core::{TopKStrategy, UsiBuilder, UsiIndex};
+use usi_strings::{GlobalUtility, WeightedString};
+use usi_suffix::LceBackend;
+
+/// The six methods compared in Fig. 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// `USI_TOP-K` built with Exact-Top-K.
+    Uet,
+    /// `USI_TOP-K` built with Approximate-Top-K (`s` rounds).
+    Uat {
+        /// Sampling rounds.
+        s: usize,
+    },
+    /// No cache.
+    Bsl1,
+    /// LRU cache.
+    Bsl2,
+    /// Exact frequency cache.
+    Bsl3,
+    /// Sketched frequency cache.
+    Bsl4,
+}
+
+impl Method {
+    /// Paper label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Uet => "UET",
+            Self::Uat { .. } => "UAT",
+            Self::Bsl1 => "BSL1",
+            Self::Bsl2 => "BSL2",
+            Self::Bsl3 => "BSL3",
+            Self::Bsl4 => "BSL4",
+        }
+    }
+
+    /// The Fig. 6 lineup with the dataset's default `s` for UAT.
+    pub fn lineup(s: usize) -> [Method; 6] {
+        [
+            Method::Uet,
+            Method::Uat { s },
+            Method::Bsl1,
+            Method::Bsl2,
+            Method::Bsl3,
+            Method::Bsl4,
+        ]
+    }
+}
+
+/// Adapter exposing [`UsiIndex`] through the baseline trait.
+pub struct UsiAdapter {
+    index: UsiIndex,
+    label: &'static str,
+}
+
+impl QueryBaseline for UsiAdapter {
+    fn name(&self) -> &'static str {
+        self.label
+    }
+
+    fn query(&mut self, pattern: &[u8]) -> BaselineAnswer {
+        let q = self.index.query(pattern);
+        BaselineAnswer {
+            value: q.value,
+            occurrences: q.occurrences,
+            cached: q.source == usi_core::QuerySource::HashTable,
+        }
+    }
+
+    fn index_size(&self) -> usize {
+        self.index.size_breakdown().total()
+    }
+}
+
+/// A built method plus its construction time.
+pub struct BuiltMethod {
+    /// The query engine.
+    pub engine: Box<dyn QueryBaseline>,
+    /// Construction wall time.
+    pub build_time: Duration,
+}
+
+/// Builds one method over `ws` with cache budget / top-K parameter `k`.
+pub fn build_method(method: Method, ws: &WeightedString, k: usize, seed: u64) -> BuiltMethod {
+    let u = GlobalUtility::sum_of_sums();
+    let start = Instant::now();
+    let engine: Box<dyn QueryBaseline> = match method {
+        Method::Uet => Box::new(UsiAdapter {
+            index: UsiBuilder::new().with_k(k).deterministic(seed).build(ws.clone()),
+            label: "UET",
+        }),
+        Method::Uat { s } => Box::new(UsiAdapter {
+            index: UsiBuilder::new()
+                .with_k(k)
+                .with_strategy(TopKStrategy::Approximate { rounds: s, lce: LceBackend::Naive })
+                .deterministic(seed)
+                .build(ws.clone()),
+            label: "UAT",
+        }),
+        Method::Bsl1 => Box::new(Bsl1::new(ws.clone(), u, seed)),
+        Method::Bsl2 => Box::new(Bsl2::new(ws.clone(), u, k, seed)),
+        Method::Bsl3 => Box::new(Bsl3::new(ws.clone(), u, k, seed)),
+        Method::Bsl4 => Box::new(Bsl4::new(ws.clone(), u, k, seed)),
+    };
+    BuiltMethod { engine, build_time: start.elapsed() }
+}
+
+/// Replays a workload, returning the average per-query latency.
+pub fn replay(engine: &mut dyn QueryBaseline, queries: &[Vec<u8>]) -> Duration {
+    let start = Instant::now();
+    let mut sink = 0.0f64;
+    for q in queries {
+        let a = engine.query(q);
+        sink += a.value.unwrap_or(0.0);
+    }
+    let elapsed = start.elapsed();
+    std::hint::black_box(sink);
+    elapsed / queries.len().max(1) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_methods_agree() {
+        let ws = WeightedString::uniform(b"abcabcabd".repeat(40), 1.0);
+        let mut engines: Vec<BuiltMethod> = Method::lineup(4)
+            .into_iter()
+            .map(|m| build_method(m, &ws, 8, 3))
+            .collect();
+        for pat in [&b"abc"[..], b"bca", b"abd", b"zzz", b"a"] {
+            let answers: Vec<u64> = engines
+                .iter_mut()
+                .map(|e| e.engine.query(pat).occurrences)
+                .collect();
+            assert!(answers.windows(2).all(|w| w[0] == w[1]), "{pat:?}: {answers:?}");
+        }
+    }
+
+    #[test]
+    fn replay_returns_positive_latency() {
+        let ws = WeightedString::uniform(b"xyxy".repeat(100), 1.0);
+        let mut m = build_method(Method::Bsl1, &ws, 4, 5);
+        let queries = vec![b"xy".to_vec(); 100];
+        let avg = replay(m.engine.as_mut(), &queries);
+        assert!(avg.as_nanos() > 0);
+    }
+}

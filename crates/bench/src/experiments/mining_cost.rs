@@ -1,0 +1,151 @@
+//! Fig. 5: space and runtime of the four top-K substring miners.
+
+use crate::context::{scaled_k_sweep, ExperimentContext};
+use crate::miners::{run_miner, MinerKind};
+use crate::report::{fmt_bytes, fmt_duration, Report};
+use usi_datasets::Dataset;
+
+/// The two datasets the paper plots in Fig. 5 (results for the others
+/// are "analogous").
+fn fig5_datasets() -> [Dataset; 2] {
+    [Dataset::Xml, Dataset::Hum]
+}
+
+fn lineup(s: usize) -> [MinerKind; 4] {
+    [
+        MinerKind::Exact,
+        MinerKind::Approximate { s },
+        MinerKind::TopKTrie,
+        MinerKind::SubstringHk,
+    ]
+}
+
+/// Fig. 5a,b: peak tracked space vs `n`.
+pub fn space_vs_n(ctx: &ExperimentContext) -> Vec<Report> {
+    let mut report = Report::new(
+        "fig5-space-n",
+        "Miner peak space vs n (Fig. 5a,b)",
+        &["dataset", "n", "K", "ET", "AT", "TT", "SH"],
+    );
+    for ds in fig5_datasets() {
+        let full = ctx.generate(ds);
+        let s = ctx.default_s(ds);
+        for n in ctx.n_sweep(ds) {
+            let text = &full.text()[..n];
+            let k = ctx.default_k(ds, n);
+            let cells: Vec<String> = lineup(s)
+                .iter()
+                .map(|&kind| fmt_bytes(run_miner(kind, text, k, ctx.seed).peak_bytes))
+                .collect();
+            report.row(&[
+                ds.spec().name.to_string(),
+                n.to_string(),
+                k.to_string(),
+                cells[0].clone(),
+                cells[1].clone(),
+                cells[2].clone(),
+                cells[3].clone(),
+            ]);
+        }
+    }
+    vec![report]
+}
+
+/// Fig. 5c,d: AT space vs `s`.
+pub fn space_vs_s(ctx: &ExperimentContext) -> Vec<Report> {
+    let mut report = Report::new(
+        "fig5-space-s",
+        "AT peak space vs s (Fig. 5c,d) — space shrinks as s grows",
+        &["dataset", "n", "K", "s", "AT space"],
+    );
+    for ds in fig5_datasets() {
+        let ws = ctx.generate(ds);
+        let n = ws.len();
+        let k = ctx.default_k(ds, n);
+        for s in ctx.s_sweep(ds) {
+            let run = run_miner(MinerKind::Approximate { s }, ws.text(), k, ctx.seed);
+            report.rowf(&[&ds.spec().name, &n, &k, &s, &fmt_bytes(run.peak_bytes)]);
+        }
+    }
+    vec![report]
+}
+
+/// Fig. 5e,f: miner runtime vs `K`.
+pub fn time_vs_k(ctx: &ExperimentContext) -> Vec<Report> {
+    let mut report = Report::new(
+        "fig5-time-k",
+        "Miner runtime vs K (Fig. 5e,f)",
+        &["dataset", "n", "K", "ET", "AT", "TT", "SH"],
+    );
+    for ds in fig5_datasets() {
+        let ws = ctx.generate(ds);
+        let n = ws.len();
+        let s = ctx.default_s(ds);
+        for k in scaled_k_sweep(ctx, ds, n) {
+            let cells: Vec<String> = lineup(s)
+                .iter()
+                .map(|&kind| fmt_duration(run_miner(kind, ws.text(), k, ctx.seed).runtime))
+                .collect();
+            report.row(&[
+                ds.spec().name.to_string(),
+                n.to_string(),
+                k.to_string(),
+                cells[0].clone(),
+                cells[1].clone(),
+                cells[2].clone(),
+                cells[3].clone(),
+            ]);
+        }
+    }
+    vec![report]
+}
+
+/// Fig. 5g,h: miner runtime vs `n`.
+pub fn time_vs_n(ctx: &ExperimentContext) -> Vec<Report> {
+    let mut report = Report::new(
+        "fig5-time-n",
+        "Miner runtime vs n (Fig. 5g,h)",
+        &["dataset", "n", "K", "ET", "AT", "TT", "SH"],
+    );
+    for ds in fig5_datasets() {
+        let full = ctx.generate(ds);
+        let s = ctx.default_s(ds);
+        for n in ctx.n_sweep(ds) {
+            let text = &full.text()[..n];
+            let k = ctx.default_k(ds, n);
+            let cells: Vec<String> = lineup(s)
+                .iter()
+                .map(|&kind| fmt_duration(run_miner(kind, text, k, ctx.seed).runtime))
+                .collect();
+            report.row(&[
+                ds.spec().name.to_string(),
+                n.to_string(),
+                k.to_string(),
+                cells[0].clone(),
+                cells[1].clone(),
+                cells[2].clone(),
+                cells[3].clone(),
+            ]);
+        }
+    }
+    vec![report]
+}
+
+/// Fig. 5i,j: AT runtime vs `s`.
+pub fn time_vs_s(ctx: &ExperimentContext) -> Vec<Report> {
+    let mut report = Report::new(
+        "fig5-time-s",
+        "AT runtime vs s (Fig. 5i,j)",
+        &["dataset", "n", "K", "s", "AT time"],
+    );
+    for ds in fig5_datasets() {
+        let ws = ctx.generate(ds);
+        let n = ws.len();
+        let k = ctx.default_k(ds, n);
+        for s in ctx.s_sweep(ds) {
+            let run = run_miner(MinerKind::Approximate { s }, ws.text(), k, ctx.seed);
+            report.rowf(&[&ds.spec().name, &n, &k, &s, &fmt_duration(run.runtime)]);
+        }
+    }
+    vec![report]
+}

@@ -1,0 +1,38 @@
+//! Section VII: the `(AB)^{n/2}` adversarial instance on which the
+//! item-stream adaptations lose (at least) half of the true top-K.
+
+use crate::context::ExperimentContext;
+use crate::miners::{run_miner, score_run, MinerKind};
+use crate::report::Report;
+use usi_core::oracle::exact_top_k;
+
+/// Runs AT / TT / SH on `(AB)^{n/2}` and reports the paper's metrics.
+pub fn run(ctx: &ExperimentContext) -> Vec<Report> {
+    let half_n = ((8_192.0 * ctx.scale) as usize).max(64);
+    let text = b"AB".repeat(half_n);
+    let k = 16; // n/2 ≥ K > 4, K even, |Σ| = 2 — the Section VII premise
+    let (exact, sa) = exact_top_k(&text, k);
+
+    let mut report = Report::new(
+        "sec7-adversarial",
+        "Section VII: (AB)^{n/2}, K = 16 — SubstringHK and Top-K Trie lose ≥ half the output",
+        &["miner", "reported", "exact-with-exact-freq", "accuracy %", "NDCG"],
+    );
+    for kind in [
+        MinerKind::Approximate { s: 4 },
+        MinerKind::TopKTrie,
+        MinerKind::SubstringHk,
+    ] {
+        let run = run_miner(kind, &text, k, ctx.seed);
+        let score = score_run(&text, &sa, &exact, &run);
+        let exact_hits = (score.accuracy * k as f64).round() as usize;
+        report.rowf(&[
+            &kind.label(),
+            &run.reported.len(),
+            &format!("{exact_hits}/{k}"),
+            &format!("{:.1}", score.accuracy * 100.0),
+            &format!("{:.4}", score.ndcg),
+        ]);
+    }
+    vec![report]
+}

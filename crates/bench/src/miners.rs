@@ -1,0 +1,150 @@
+//! Uniform wrappers around the four top-K substring miners (ET, AT, TT,
+//! SH) so experiments can sweep them interchangeably.
+
+use std::time::{Duration, Instant};
+use usi_core::metrics::{evaluate, EffectivenessReport};
+use usi_core::{approximate_top_k, ApproxConfig, SubstringRef, TopKOracle};
+use usi_streams::{SubstringHk, SubstringMiner, TopKTrie};
+use usi_strings::HeapSize;
+use usi_suffix::{lcp_array, suffix_array, LceBackend};
+
+/// Which miner to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MinerKind {
+    /// `Exact-Top-K` (Section V oracle).
+    Exact,
+    /// `Approximate-Top-K` with `s` rounds.
+    Approximate {
+        /// Sampling rounds.
+        s: usize,
+    },
+    /// `Top-K Trie` (Section VII).
+    TopKTrie,
+    /// `SubstringHK` (Section VII).
+    SubstringHk,
+}
+
+impl MinerKind {
+    /// Paper label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Exact => "ET",
+            Self::Approximate { .. } => "AT",
+            Self::TopKTrie => "TT",
+            Self::SubstringHk => "SH",
+        }
+    }
+}
+
+/// Outcome of one miner run.
+#[derive(Debug, Clone)]
+pub struct MinerRun {
+    /// Which miner.
+    pub kind: MinerKind,
+    /// Reported substrings with their estimated frequencies.
+    pub reported: Vec<(SubstringRef, u64)>,
+    /// Wall time of the mining itself.
+    pub runtime: Duration,
+    /// Peak/final tracked bytes of the miner's own state.
+    pub peak_bytes: usize,
+}
+
+/// Runs a miner on `text` for the top-`k` substrings. `seed` controls
+/// randomized miners.
+pub fn run_miner(kind: MinerKind, text: &[u8], k: usize, seed: u64) -> MinerRun {
+    let start = Instant::now();
+    match kind {
+        MinerKind::Exact => {
+            let sa = suffix_array(text);
+            let lcp = lcp_array(text, &sa);
+            let oracle = TopKOracle::new(text.len(), &sa, &lcp);
+            let items = oracle.top_k(k);
+            let runtime = start.elapsed();
+            let peak_bytes = sa.heap_bytes() + lcp.heap_bytes() + oracle.heap_bytes();
+            let reported = items
+                .iter()
+                .map(|t| {
+                    (
+                        SubstringRef::Witness { pos: sa[t.lb as usize], len: t.len },
+                        t.freq() as u64,
+                    )
+                })
+                .collect();
+            MinerRun { kind, reported, runtime, peak_bytes }
+        }
+        MinerKind::Approximate { s } => {
+            let cfg = ApproxConfig {
+                k,
+                rounds: s,
+                lce: LceBackend::Naive,
+                fingerprint_base: seed,
+            };
+            let res = approximate_top_k(text, &cfg);
+            let runtime = start.elapsed();
+            let reported = res
+                .items
+                .iter()
+                .map(|e| (SubstringRef::Witness { pos: e.witness, len: e.len }, e.freq))
+                .collect();
+            MinerRun { kind, reported, runtime, peak_bytes: res.peak_tracked_bytes }
+        }
+        MinerKind::TopKTrie => {
+            let mut tt = TopKTrie::new();
+            let mined = tt.mine(text, k);
+            let runtime = start.elapsed();
+            let reported = mined
+                .into_iter()
+                .map(|m| (SubstringRef::Owned(m.bytes), m.freq))
+                .collect();
+            MinerRun { kind, reported, runtime, peak_bytes: tt.state_bytes() }
+        }
+        MinerKind::SubstringHk => {
+            let mut sh = SubstringHk::with_seed(seed);
+            let mined = sh.mine(text, k);
+            let runtime = start.elapsed();
+            let reported = mined
+                .into_iter()
+                .map(|m| (SubstringRef::Owned(m.bytes), m.freq))
+                .collect();
+            MinerRun { kind, reported, runtime, peak_bytes: sh.state_bytes() }
+        }
+    }
+}
+
+/// Scores a miner run against the exact top-K ground truth.
+pub fn score_run(
+    text: &[u8],
+    sa: &[u32],
+    exact: &[usi_core::TopKSubstring],
+    run: &MinerRun,
+) -> EffectivenessReport {
+    evaluate(text, sa, exact, &run.reported)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usi_core::oracle::exact_top_k;
+
+    #[test]
+    fn all_miners_run_and_exact_scores_one() {
+        let text = b"abracadabra".repeat(50);
+        let k = 12;
+        let (exact, sa) = exact_top_k(&text, k);
+        for kind in [
+            MinerKind::Exact,
+            MinerKind::Approximate { s: 4 },
+            MinerKind::TopKTrie,
+            MinerKind::SubstringHk,
+        ] {
+            let run = run_miner(kind, &text, k, 1);
+            assert!(run.reported.len() <= k, "{}", kind.label());
+            let score = score_run(&text, &sa, &exact, &run);
+            if kind == MinerKind::Exact {
+                assert_eq!(score.accuracy, 1.0);
+            }
+            assert!((0.0..=1.0).contains(&score.accuracy));
+            assert!(run.peak_bytes > 0);
+        }
+    }
+}

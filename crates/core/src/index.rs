@@ -1,0 +1,421 @@
+//! The `USI_TOP-K` data structure (paper, Section IV, Theorem 1).
+//!
+//! Components:
+//!
+//! * hash table `H`: `(pattern length, Karp–Rabin fingerprint) →`
+//!   [`UtilityAccumulator`], holding the precomputed global utilities of
+//!   the top-K frequent substrings;
+//! * the text index: suffix array `SA(S)` (standing in for the suffix
+//!   tree, see DESIGN.md §3) locating infrequent patterns;
+//! * `PSW`: prefix sums of the weights, giving any occurrence's local
+//!   utility in `O(1)`.
+//!
+//! Construction phases (mirroring the paper):
+//!
+//! 1. **Phase (i)** — obtain the top-K frequent substrings (exact oracle
+//!    of Section V or the Section-VI sampler); done by [`crate::builder`].
+//! 2. **Phase (ii)** — group the substrings by length; for each of the
+//!    `L_K` lengths, mark occurrence start positions in a bit vector
+//!    (exact triplets) or collect witness fingerprints in a set
+//!    (estimates), then slide a window over `S` computing each window's
+//!    fingerprint and local utility in `O(1)` and aggregating marked
+//!    windows into `H`. `O(n · L_K)` total.
+//! 3. **Phase (iii)** — build `SA(S)` and `PSW`.
+//!
+//! A query for `P` of length `m` computes `P`'s fingerprint (`O(m)`),
+//! probes `H`, and on a miss falls back to the suffix array plus `PSW`
+//! (`O(m log n + occ)`, with `occ ≤ τ_K` for exact-built indexes).
+
+use crate::topk::{TopKEstimate, TopKSubstring};
+use std::time::Duration;
+use usi_strings::{
+    Fingerprinter, FxHashMap, FxHashSet, GlobalUtility, HeapSize, LocalIndex,
+    UtilityAccumulator, WeightedString,
+};
+use usi_suffix::SuffixArraySearcher;
+
+/// How a query was answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuerySource {
+    /// Precomputed: found in the hash table `H`. `O(m)`.
+    HashTable,
+    /// Computed on the fly from the text index and `PSW`.
+    TextIndex,
+}
+
+/// Result of a USI query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UsiQuery {
+    /// The global utility `U(P)`; `None` when the aggregate is undefined
+    /// for zero occurrences (min/max/avg of an absent pattern).
+    pub value: Option<f64>,
+    /// Number of occurrences of `P` in `S`.
+    pub occurrences: u64,
+    /// Which path answered the query.
+    pub source: QuerySource,
+}
+
+/// Construction statistics (reported by the experiment harness).
+#[derive(Debug, Clone, Default)]
+pub struct BuildStats {
+    /// Text length `n`.
+    pub n: usize,
+    /// Requested `K`.
+    pub k_requested: usize,
+    /// Number of substrings actually inserted into `H`.
+    pub k_stored: usize,
+    /// `τ_K` (exact strategy only): worst-case fallback occurrence count.
+    pub tau: Option<u32>,
+    /// `L_K`: number of distinct top-K substring lengths (phase-(ii)
+    /// sliding-window passes).
+    pub distinct_lengths: usize,
+    /// Phase (i) wall time (top-K mining).
+    pub phase_topk: Duration,
+    /// Phase (ii) wall time (hash-table population).
+    pub phase_populate: Duration,
+    /// Phase (iii) wall time (SA + PSW; SA construction is attributed
+    /// here even though phase (i) reuses it).
+    pub phase_index: Duration,
+    /// Peak tracked bytes of the miner (AT strategy; 0 for exact).
+    pub miner_peak_bytes: usize,
+}
+
+impl BuildStats {
+    /// Total construction wall time.
+    pub fn total_time(&self) -> Duration {
+        self.phase_topk + self.phase_populate + self.phase_index
+    }
+}
+
+/// Index-size breakdown in bytes (the paper's Fig. 6k–p measurements).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IndexSize {
+    /// The text `S`.
+    pub text: usize,
+    /// The weight array `w`.
+    pub weights: usize,
+    /// The suffix array.
+    pub suffix_array: usize,
+    /// The `PSW` array.
+    pub psw: usize,
+    /// The hash table `H` (keys, values, control bytes).
+    pub hash_table: usize,
+}
+
+impl IndexSize {
+    /// Sum of all components.
+    pub fn total(&self) -> usize {
+        self.text + self.weights + self.suffix_array + self.psw + self.hash_table
+    }
+}
+
+/// Hash-table key: (substring length, fingerprint). Keying on the length
+/// too makes cross-length fingerprint collisions impossible.
+type HKey = (u32, u64);
+
+/// The `USI_TOP-K` index. Build through [`crate::builder::UsiBuilder`].
+#[derive(Debug, Clone)]
+pub struct UsiIndex {
+    ws: WeightedString,
+    sa: Vec<u32>,
+    psw: LocalIndex,
+    fingerprinter: Fingerprinter,
+    utility: GlobalUtility,
+    h: FxHashMap<HKey, UtilityAccumulator>,
+    /// The `L_K` distinct lengths present in `H`, sorted. A query whose
+    /// length is absent cannot be cached, so the `O(m)` fingerprint
+    /// computation is skipped entirely — important for long infrequent
+    /// patterns (e.g. the IOT workloads).
+    cached_lengths: Vec<u32>,
+    stats: BuildStats,
+}
+
+impl UsiIndex {
+    /// Assembles an index from prebuilt parts; used by the builder.
+    pub(crate) fn from_parts(
+        ws: WeightedString,
+        sa: Vec<u32>,
+        psw: LocalIndex,
+        fingerprinter: Fingerprinter,
+        utility: GlobalUtility,
+        h: FxHashMap<HKey, UtilityAccumulator>,
+        stats: BuildStats,
+    ) -> Self {
+        let mut cached_lengths: Vec<u32> = h.keys().map(|&(len, _)| len).collect();
+        cached_lengths.sort_unstable();
+        cached_lengths.dedup();
+        Self { ws, sa, psw, fingerprinter, utility, h, cached_lengths, stats }
+    }
+
+    /// The indexed weighted string.
+    pub fn weighted_string(&self) -> &WeightedString {
+        &self.ws
+    }
+
+    /// The text `S`.
+    pub fn text(&self) -> &[u8] {
+        self.ws.text()
+    }
+
+    /// The suffix array of `S`.
+    pub fn suffix_array(&self) -> &[u32] {
+        &self.sa
+    }
+
+    /// The configured global utility function.
+    pub fn utility(&self) -> GlobalUtility {
+        self.utility
+    }
+
+    /// The fingerprint function (shared with any cooperating structure).
+    pub fn fingerprinter(&self) -> Fingerprinter {
+        self.fingerprinter
+    }
+
+    /// Number of entries in the hash table `H` (distinct cached
+    /// substrings).
+    pub fn cached_substrings(&self) -> usize {
+        self.h.len()
+    }
+
+    /// Construction statistics.
+    pub fn stats(&self) -> &BuildStats {
+        &self.stats
+    }
+
+    /// Read access to the hash table `H` (persistence, diagnostics).
+    pub(crate) fn hash_table(&self) -> &FxHashMap<HKey, UtilityAccumulator> {
+        &self.h
+    }
+
+    /// Index-size breakdown.
+    pub fn size_breakdown(&self) -> IndexSize {
+        IndexSize {
+            text: self.ws.text().len(),
+            weights: std::mem::size_of_val(self.ws.weights()),
+            suffix_array: self.sa.heap_bytes(),
+            psw: self.psw.heap_bytes(),
+            hash_table: self.h.capacity()
+                * (std::mem::size_of::<HKey>() + std::mem::size_of::<UtilityAccumulator>() + 1)
+                + self.cached_lengths.capacity() * std::mem::size_of::<u32>(),
+        }
+    }
+
+    /// Answers a USI query: the global utility `U(P)` of `pattern`.
+    ///
+    /// `O(m)` when the pattern is cached in `H`; otherwise
+    /// `O(m log n + occ)` with `occ ≤ τ_K` for exact-built indexes.
+    pub fn query(&self, pattern: &[u8]) -> UsiQuery {
+        let (acc, source) = self.query_accumulator(pattern);
+        UsiQuery {
+            value: acc.finish(self.utility.aggregator),
+            occurrences: acc.count(),
+            source,
+        }
+    }
+
+    /// Like [`UsiIndex::query`], but returns the raw accumulator so
+    /// callers (e.g. the dynamic index) can merge further occurrences
+    /// before extracting an aggregate.
+    pub fn query_accumulator(&self, pattern: &[u8]) -> (UtilityAccumulator, QuerySource) {
+        let m = pattern.len();
+        if m == 0 || m > self.ws.len() {
+            return (UtilityAccumulator::new(), QuerySource::TextIndex);
+        }
+        // Only compute the O(m) fingerprint when some cached substring
+        // has this length; otherwise the probe cannot hit.
+        if self.cached_lengths.binary_search(&(m as u32)).is_ok() {
+            let fp = self.fingerprinter.fingerprint(pattern);
+            if let Some(acc) = self.h.get(&(m as u32, fp)) {
+                return (*acc, QuerySource::HashTable);
+            }
+        }
+        let searcher = SuffixArraySearcher::new(self.ws.text(), &self.sa);
+        let mut acc = UtilityAccumulator::new();
+        if let Some(range) = searcher.interval(pattern) {
+            for &p in &self.sa[range] {
+                acc.add(self.psw.local(p as usize, m));
+            }
+        }
+        (acc, QuerySource::TextIndex)
+    }
+
+    /// Populates `H` from exact triplets (phase (ii), bit-vector variant):
+    /// one sliding-window pass per distinct length, marked positions read
+    /// from the SA intervals. `O(n · L_K)`. Exposed for the phase-(ii)
+    /// ablation bench; normal construction goes through
+    /// [`crate::builder::UsiBuilder`].
+    pub fn populate_from_triplets(
+        text: &[u8],
+        sa: &[u32],
+        psw: &LocalIndex,
+        fingerprinter: &Fingerprinter,
+        items: &[TopKSubstring],
+    ) -> (FxHashMap<HKey, UtilityAccumulator>, usize) {
+        let n = text.len();
+        let mut h: FxHashMap<HKey, UtilityAccumulator> = FxHashMap::default();
+        h.reserve(items.len());
+
+        // Radix-style grouping by length.
+        let mut by_len: FxHashMap<u32, Vec<&TopKSubstring>> = FxHashMap::default();
+        for item in items {
+            by_len.entry(item.len).or_default().push(item);
+        }
+        let mut lengths: Vec<u32> = by_len.keys().copied().collect();
+        lengths.sort_unstable();
+
+        let mut bits = vec![0u64; n.div_ceil(64)];
+        for &len in &lengths {
+            bits.fill(0);
+            for item in &by_len[&len] {
+                for r in item.lb..=item.rb {
+                    let p = sa[r as usize] as usize;
+                    bits[p / 64] |= 1 << (p % 64);
+                }
+            }
+            let Some(mut window) = fingerprinter.rolling(text, len as usize) else {
+                continue;
+            };
+            loop {
+                let i = window.position();
+                if bits[i / 64] >> (i % 64) & 1 == 1 {
+                    h.entry((len, window.value()))
+                        .or_default()
+                        .add(psw.local(i, len as usize));
+                }
+                if !window.slide() {
+                    break;
+                }
+            }
+        }
+        (h, lengths.len())
+    }
+
+    /// Parallel variant of [`UsiIndex::populate_from_triplets`]: the
+    /// `L_K` length groups are independent sliding-window passes writing
+    /// to key-disjoint parts of `H` (keys embed the length), so they are
+    /// sharded across `threads` workers and the per-thread tables merged
+    /// without conflicts. Same output as the sequential pass.
+    pub fn populate_from_triplets_parallel(
+        text: &[u8],
+        sa: &[u32],
+        psw: &LocalIndex,
+        fingerprinter: &Fingerprinter,
+        items: &[TopKSubstring],
+        threads: usize,
+    ) -> (FxHashMap<HKey, UtilityAccumulator>, usize) {
+        let threads = threads.max(1);
+        let mut by_len: FxHashMap<u32, Vec<&TopKSubstring>> = FxHashMap::default();
+        for item in items {
+            by_len.entry(item.len).or_default().push(item);
+        }
+        let mut lengths: Vec<u32> = by_len.keys().copied().collect();
+        lengths.sort_unstable();
+        let num_lengths = lengths.len();
+        if threads == 1 || num_lengths <= 1 {
+            return Self::populate_from_triplets(text, sa, psw, fingerprinter, items);
+        }
+
+        let n = text.len();
+        let shards: Vec<FxHashMap<HKey, UtilityAccumulator>> = std::thread::scope(|scope| {
+            let by_len = &by_len;
+            let lengths = &lengths;
+            let handles: Vec<_> = (0..threads.min(num_lengths))
+                .map(|t| {
+                    scope.spawn(move || {
+                        let mut shard: FxHashMap<HKey, UtilityAccumulator> =
+                            FxHashMap::default();
+                        let mut bits = vec![0u64; n.div_ceil(64)];
+                        // strided assignment balances short and long lengths
+                        for &len in lengths.iter().skip(t).step_by(threads.min(num_lengths)) {
+                            bits.fill(0);
+                            for item in &by_len[&len] {
+                                for r in item.lb..=item.rb {
+                                    let p = sa[r as usize] as usize;
+                                    bits[p / 64] |= 1 << (p % 64);
+                                }
+                            }
+                            let Some(mut window) = fingerprinter.rolling(text, len as usize)
+                            else {
+                                continue;
+                            };
+                            loop {
+                                let i = window.position();
+                                if bits[i / 64] >> (i % 64) & 1 == 1 {
+                                    shard
+                                        .entry((len, window.value()))
+                                        .or_default()
+                                        .add(psw.local(i, len as usize));
+                                }
+                                if !window.slide() {
+                                    break;
+                                }
+                            }
+                        }
+                        shard
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+
+        let mut h: FxHashMap<HKey, UtilityAccumulator> = FxHashMap::default();
+        h.reserve(items.len());
+        for shard in shards {
+            // keys are disjoint across shards: each (len, fp) lives in
+            // exactly one length group
+            h.extend(shard);
+        }
+        (h, num_lengths)
+    }
+
+    /// Populates `H` from witness estimates (phase (ii), fingerprint-set
+    /// variant used with Approximate-Top-K): per length, collect the
+    /// witnesses' fingerprints and aggregate every window whose
+    /// fingerprint is in the set. Computes **exact** global utilities for
+    /// the estimated substring set. `O(n · L_K)`. Exposed for the
+    /// phase-(ii) ablation bench.
+    pub fn populate_from_estimates(
+        text: &[u8],
+        psw: &LocalIndex,
+        fingerprinter: &Fingerprinter,
+        items: &[TopKEstimate],
+    ) -> (FxHashMap<HKey, UtilityAccumulator>, usize) {
+        let mut h: FxHashMap<HKey, UtilityAccumulator> = FxHashMap::default();
+        h.reserve(items.len());
+        let table = fingerprinter.table(text);
+
+        let mut by_len: FxHashMap<u32, FxHashSet<u64>> = FxHashMap::default();
+        for item in items {
+            let fp = table.substring(item.witness as usize, (item.witness + item.len) as usize);
+            by_len.entry(item.len).or_default().insert(fp);
+        }
+        let mut lengths: Vec<u32> = by_len.keys().copied().collect();
+        lengths.sort_unstable();
+
+        for &len in &lengths {
+            let set = &by_len[&len];
+            let Some(mut window) = fingerprinter.rolling(text, len as usize) else {
+                continue;
+            };
+            loop {
+                let fp = window.value();
+                if set.contains(&fp) {
+                    h.entry((len, fp))
+                        .or_default()
+                        .add(psw.local(window.position(), len as usize));
+                }
+                if !window.slide() {
+                    break;
+                }
+            }
+        }
+        (h, lengths.len())
+    }
+}
+
+impl HeapSize for UsiIndex {
+    fn heap_bytes(&self) -> usize {
+        self.size_breakdown().total()
+    }
+}

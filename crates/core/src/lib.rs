@@ -1,0 +1,41 @@
+//! Useful String Indexing (USI) — the core of the reproduction of
+//! Bernardini et al., *Indexing Strings with Utilities*, ICDE 2025.
+//!
+//! Given a weighted string `(S, w)` and a global utility function
+//! `U ∈ 𝒰`, the [`UsiIndex`] answers `U(P)` queries in `O(m + τ_K)`
+//! using `O(n + K)` space (Theorem 1):
+//!
+//! * the global utilities of the **top-K frequent substrings** are
+//!   precomputed into a hash table keyed by Karp–Rabin fingerprints
+//!   (query `O(m)`);
+//! * every other pattern is located in the suffix array and aggregated on
+//!   the fly through the prefix-sum array `PSW` (query `O(m + τ_K)`).
+//!
+//! Module map:
+//!
+//! * [`topk`] — shared top-K substring representations;
+//! * [`oracle`] — the linear-space data structure of Section V (arrays
+//!   `T`, `Q`, `L`) powering Exact-Top-K and parameter tuning;
+//! * [`approx`] — the space-efficient Approximate-Top-K sampler of
+//!   Section VI;
+//! * [`index`] / [`builder`] — the `USI_TOP-K` data structure of
+//!   Section IV;
+//! * [`metrics`] — Accuracy, Relative Error and NDCG (Section IX-B);
+//! * [`dynamic`] — an append-only dynamic variant (Section X).
+
+pub mod approx;
+pub mod builder;
+pub mod dynamic;
+pub mod index;
+pub mod metrics;
+pub mod oracle;
+pub mod persist;
+pub mod topk;
+
+pub use approx::{approximate_top_k, ApproxConfig, ApproxResult};
+pub use builder::{TopKStrategy, UsiBuilder};
+pub use dynamic::DynamicUsi;
+pub use index::{BuildStats, QuerySource, UsiIndex, UsiQuery};
+pub use oracle::{exact_top_k, TopKOracle, TradeoffPoint, TuneForK, TuneForTau};
+pub use persist::PersistError;
+pub use topk::{SubstringRef, TopKEstimate, TopKSubstring};

@@ -1,0 +1,210 @@
+//! Effectiveness metrics for top-K substring estimation (paper,
+//! Section IX-B, "Measures").
+//!
+//! * **Accuracy** — percentage of reported substrings whose reported
+//!   frequency equals their true frequency *and* whose true frequency
+//!   reaches the exact top-K threshold `τ_K` (membership up to ties);
+//! * **Relative Error** —
+//!   `(Σ_{P∈T_K} |occ(P)| − Σ_{P'∈T'_K} |occ(P')|) / Σ_{P∈T_K} |occ(P)|`,
+//!   with true occurrence counts on both sides;
+//! * **NDCG** — discounted cumulative gain of the reported ranking with
+//!   true frequencies as gains, normalised by the ideal (exact) ranking.
+
+use crate::topk::{SubstringRef, TopKSubstring};
+use usi_strings::FxHashMap;
+use usi_suffix::SuffixArraySearcher;
+
+/// Effectiveness of an estimated top-K set against the exact one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EffectivenessReport {
+    /// Fraction in `[0, 1]` (the paper reports percentages).
+    pub accuracy: f64,
+    /// Relative error of total covered frequency; ≥ 0 when the estimate
+    /// misses mass, and 0 for a perfect estimate.
+    pub relative_error: f64,
+    /// Normalised discounted cumulative gain in `[0, 1]`.
+    pub ndcg: f64,
+}
+
+/// Evaluates a reported top-K list against the exact top-K of `text`.
+///
+/// * `exact` — output of the Section-V oracle (defines `K` and `τ_K`);
+/// * `reported` — `(substring, reported frequency)` pairs in rank order
+///   (estimated-frequency descending), e.g. from Approximate-Top-K or a
+///   streaming baseline.
+///
+/// True frequencies of reported substrings are recomputed from the
+/// suffix array (`O(m log n)` each). Duplicate reported substrings are
+/// collapsed, keeping the first (highest-ranked) occurrence.
+pub fn evaluate(
+    text: &[u8],
+    sa: &[u32],
+    exact: &[TopKSubstring],
+    reported: &[(SubstringRef, u64)],
+) -> EffectivenessReport {
+    let k = exact.len();
+    if k == 0 {
+        return EffectivenessReport { accuracy: 1.0, relative_error: 0.0, ndcg: 1.0 };
+    }
+    let searcher = SuffixArraySearcher::new(text, sa);
+    let tau = exact.iter().map(|t| t.freq()).min().unwrap_or(0) as u64;
+
+    // Deduplicate the reported list (first occurrence wins the rank).
+    let mut seen: FxHashMap<Vec<u8>, ()> = FxHashMap::default();
+    let mut items: Vec<(&SubstringRef, u64, u64)> = Vec::with_capacity(reported.len());
+    for (sref, est_freq) in reported {
+        let bytes = sref.resolve(text).to_vec();
+        if seen.insert(bytes, ()).is_some() {
+            continue;
+        }
+        let true_freq = searcher.count(sref.resolve(text)) as u64;
+        items.push((sref, *est_freq, true_freq));
+    }
+
+    // Accuracy.
+    let hits = items
+        .iter()
+        .filter(|(_, est, truth)| est == truth && *truth >= tau)
+        .count();
+    let accuracy = hits as f64 / k as f64;
+
+    // Relative error over true frequency mass.
+    let exact_mass: u64 = exact.iter().map(|t| t.freq() as u64).sum();
+    let reported_mass: u64 = items.iter().map(|(_, _, truth)| *truth).sum();
+    let relative_error = if exact_mass == 0 {
+        0.0
+    } else {
+        (exact_mass as f64 - reported_mass as f64) / exact_mass as f64
+    };
+
+    // NDCG with true frequencies as gains.
+    let dcg: f64 = items
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(i, (_, _, truth))| *truth as f64 / ((i + 2) as f64).log2())
+        .sum();
+    let mut ideal_gains: Vec<u64> = exact.iter().map(|t| t.freq() as u64).collect();
+    ideal_gains.sort_unstable_by(|a, b| b.cmp(a));
+    let idcg: f64 = ideal_gains
+        .iter()
+        .enumerate()
+        .map(|(i, &g)| g as f64 / ((i + 2) as f64).log2())
+        .sum();
+    let ndcg = if idcg == 0.0 { 1.0 } else { (dcg / idcg).min(1.0) };
+
+    EffectivenessReport { accuracy, relative_error, ndcg }
+}
+
+/// Convenience: converts witness estimates into the `(SubstringRef, freq)`
+/// shape [`evaluate`] expects.
+pub fn estimates_as_reported(items: &[crate::topk::TopKEstimate]) -> Vec<(SubstringRef, u64)> {
+    items
+        .iter()
+        .map(|e| (SubstringRef::Witness { pos: e.witness, len: e.len }, e.freq))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::{approximate_top_k, ApproxConfig};
+    use crate::metrics;
+    use crate::oracle::exact_top_k;
+
+    #[test]
+    fn perfect_estimate_scores_one() {
+        let text = b"abracadabra_abracadabra_abra";
+        let (exact, sa) = exact_top_k(text, 10);
+        let reported: Vec<(SubstringRef, u64)> = exact
+            .iter()
+            .map(|t| {
+                (
+                    SubstringRef::Witness { pos: sa[t.lb as usize], len: t.len },
+                    t.freq() as u64,
+                )
+            })
+            .collect();
+        let r = evaluate(text, &sa, &exact, &reported);
+        assert_eq!(r.accuracy, 1.0);
+        assert!(r.relative_error.abs() < 1e-12);
+        assert!((r.ndcg - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_estimate_scores_zero() {
+        let text = b"banana_banana";
+        let (exact, sa) = exact_top_k(text, 5);
+        let r = evaluate(text, &sa, &exact, &[]);
+        assert_eq!(r.accuracy, 0.0);
+        assert!((r.relative_error - 1.0).abs() < 1e-12);
+        assert_eq!(r.ndcg, 0.0);
+    }
+
+    #[test]
+    fn wrong_frequencies_hurt_accuracy_not_ndcg_much() {
+        let text = b"aabaabaabaab";
+        let (exact, sa) = exact_top_k(text, 4);
+        // right substrings, frequencies off by one
+        let reported: Vec<(SubstringRef, u64)> = exact
+            .iter()
+            .map(|t| {
+                (
+                    SubstringRef::Witness { pos: sa[t.lb as usize], len: t.len },
+                    t.freq() as u64 - 1,
+                )
+            })
+            .collect();
+        let r = evaluate(text, &sa, &exact, &reported);
+        assert_eq!(r.accuracy, 0.0);
+        // NDCG uses true frequencies, so it stays perfect
+        assert!((r.ndcg - 1.0).abs() < 1e-12);
+        assert!(r.relative_error.abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_round_at_is_perfect() {
+        let text = b"mississippi_mississippi";
+        let (exact, sa) = exact_top_k(text, 8);
+        let res = approximate_top_k(text, &ApproxConfig::new(8, 1));
+        let r = evaluate(text, &sa, &exact, &metrics::estimates_as_reported(&res.items));
+        assert_eq!(r.accuracy, 1.0);
+        assert!((r.ndcg - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicates_are_collapsed() {
+        let text = b"abab";
+        let (exact, sa) = exact_top_k(text, 3); // a, b, ab (freq 2 each)
+        let dup = vec![
+            (SubstringRef::Owned(b"a".to_vec()), 2u64),
+            (SubstringRef::Owned(b"a".to_vec()), 2u64),
+            (SubstringRef::Owned(b"a".to_vec()), 2u64),
+        ];
+        let r = evaluate(text, &sa, &exact, &dup);
+        assert!((r.accuracy - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn owned_and_witness_refs_agree() {
+        let text = b"banana_banana";
+        let (exact, sa) = exact_top_k(text, 5);
+        let as_witness: Vec<(SubstringRef, u64)> = exact
+            .iter()
+            .map(|t| {
+                (
+                    SubstringRef::Witness { pos: sa[t.lb as usize], len: t.len },
+                    t.freq() as u64,
+                )
+            })
+            .collect();
+        let as_owned: Vec<(SubstringRef, u64)> = exact
+            .iter()
+            .map(|t| (SubstringRef::Owned(t.bytes(text, &sa).to_vec()), t.freq() as u64))
+            .collect();
+        assert_eq!(
+            evaluate(text, &sa, &exact, &as_witness),
+            evaluate(text, &sa, &exact, &as_owned)
+        );
+    }
+}

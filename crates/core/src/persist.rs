@@ -1,0 +1,326 @@
+//! Index persistence: a versioned little-endian binary format for
+//! [`UsiIndex`], so a built index can be saved once and memory-mapped or
+//! streamed back without re-running construction.
+//!
+//! Layout (`USIX` format, version 1):
+//!
+//! ```text
+//! magic  b"USIX\x01\x00\x00\x00"
+//! u8     aggregator tag
+//! u8     local window tag
+//! u64    fingerprinter base
+//! u64    n
+//! [u8]   text (n bytes)
+//! [f64]  weights (n)
+//! [u32]  suffix array (n)          — PSW is recomputed on load
+//! u64    |H|
+//! |H| ×  (u32 len, u64 fp, f64 sum, f64 min, f64 max, u64 count)
+//! u64    k_requested; u64 k_stored; u32 tau (u32::MAX = none); u64 L_K
+//! ```
+//!
+//! Readers validate the magic, version, aggregator tag, base range and
+//! the suffix-array permutation property, so a truncated or corrupted
+//! file fails loudly instead of producing wrong answers.
+
+use crate::index::{BuildStats, UsiIndex};
+use std::io::{self, Read, Write};
+use usi_strings::{
+    Fingerprinter, FxHashMap, GlobalUtility, UtilityAccumulator, WeightedString,
+};
+
+const MAGIC: [u8; 8] = *b"USIX\x01\x00\x00\x00";
+
+/// Errors raised when loading a persisted index.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Bad magic/version header.
+    BadMagic,
+    /// A field failed validation (message describes which).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::BadMagic => write!(f, "not a USIX v1 index file"),
+            Self::Corrupt(what) => write!(f, "corrupted index file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+struct Writer<'w, W: Write>(&'w mut W);
+
+impl<W: Write> Writer<'_, W> {
+    fn u8(&mut self, v: u8) -> io::Result<()> {
+        self.0.write_all(&[v])
+    }
+    fn u32(&mut self, v: u32) -> io::Result<()> {
+        self.0.write_all(&v.to_le_bytes())
+    }
+    fn u64(&mut self, v: u64) -> io::Result<()> {
+        self.0.write_all(&v.to_le_bytes())
+    }
+    fn f64(&mut self, v: f64) -> io::Result<()> {
+        self.0.write_all(&v.to_le_bytes())
+    }
+}
+
+struct Reader<'r, R: Read>(&'r mut R);
+
+impl<R: Read> Reader<'_, R> {
+    fn u8(&mut self) -> io::Result<u8> {
+        let mut b = [0u8; 1];
+        self.0.read_exact(&mut b)?;
+        Ok(b[0])
+    }
+    fn u32(&mut self) -> io::Result<u32> {
+        let mut b = [0u8; 4];
+        self.0.read_exact(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+    fn u64(&mut self) -> io::Result<u64> {
+        let mut b = [0u8; 8];
+        self.0.read_exact(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+    fn f64(&mut self) -> io::Result<f64> {
+        let mut b = [0u8; 8];
+        self.0.read_exact(&mut b)?;
+        Ok(f64::from_le_bytes(b))
+    }
+}
+
+impl UsiIndex {
+    /// Serialises the index in `USIX` v1 format.
+    pub fn write_to<W: Write>(&self, out: &mut W) -> io::Result<()> {
+        out.write_all(&MAGIC)?;
+        let mut w = Writer(out);
+        w.u8(self.utility().aggregator.to_tag())?;
+        w.u8(self.utility().local.to_tag())?;
+        w.u64(self.fingerprinter().base())?;
+        let ws = self.weighted_string();
+        w.u64(ws.len() as u64)?;
+        w.0.write_all(ws.text())?;
+        for &x in ws.weights() {
+            w.f64(x)?;
+        }
+        for &p in self.suffix_array() {
+            w.u32(p)?;
+        }
+        let h = self.hash_table();
+        w.u64(h.len() as u64)?;
+        for (&(len, fp), acc) in h {
+            let (sum, min, max, count) = acc.to_raw();
+            w.u32(len)?;
+            w.u64(fp)?;
+            w.f64(sum)?;
+            w.f64(min)?;
+            w.f64(max)?;
+            w.u64(count)?;
+        }
+        let stats = self.stats();
+        w.u64(stats.k_requested as u64)?;
+        w.u64(stats.k_stored as u64)?;
+        w.u32(stats.tau.unwrap_or(u32::MAX))?;
+        w.u64(stats.distinct_lengths as u64)?;
+        Ok(())
+    }
+
+    /// Deserialises an index written by [`UsiIndex::write_to`],
+    /// revalidating structural invariants.
+    pub fn read_from<R: Read>(input: &mut R) -> Result<Self, PersistError> {
+        let mut magic = [0u8; 8];
+        input.read_exact(&mut magic)?;
+        if magic != MAGIC {
+            return Err(PersistError::BadMagic);
+        }
+        let mut r = Reader(input);
+        let aggregator = usi_strings::GlobalAggregator::from_tag(r.u8()?)
+            .ok_or(PersistError::Corrupt("aggregator tag"))?;
+        let local = usi_strings::LocalWindow::from_tag(r.u8()?)
+            .ok_or(PersistError::Corrupt("local window tag"))?;
+        let base = r.u64()?;
+        if !(256..usi_strings::fingerprint::MODULUS - 1).contains(&base) {
+            return Err(PersistError::Corrupt("fingerprint base"));
+        }
+        let fingerprinter = Fingerprinter::from_raw_base(base);
+        let n = r.u64()? as usize;
+        if n > (u32::MAX as usize) - 2 {
+            return Err(PersistError::Corrupt("text length"));
+        }
+        let mut text = vec![0u8; n];
+        r.0.read_exact(&mut text)?;
+        let mut weights = Vec::with_capacity(n);
+        for _ in 0..n {
+            let x = r.f64()?;
+            if !x.is_finite() {
+                return Err(PersistError::Corrupt("non-finite weight"));
+            }
+            weights.push(x);
+        }
+        let mut sa = Vec::with_capacity(n);
+        let mut seen = vec![false; n];
+        for _ in 0..n {
+            let p = r.u32()?;
+            if p as usize >= n || seen[p as usize] {
+                return Err(PersistError::Corrupt("suffix array permutation"));
+            }
+            seen[p as usize] = true;
+            sa.push(p);
+        }
+        let h_len = r.u64()? as usize;
+        if h_len > n.saturating_mul(n).max(1024) {
+            return Err(PersistError::Corrupt("hash table size"));
+        }
+        let mut h: FxHashMap<(u32, u64), UtilityAccumulator> = FxHashMap::default();
+        h.reserve(h_len);
+        for _ in 0..h_len {
+            let len = r.u32()?;
+            let fp = r.u64()?;
+            let sum = r.f64()?;
+            let min = r.f64()?;
+            let max = r.f64()?;
+            let count = r.u64()?;
+            if len == 0 || len as usize > n {
+                return Err(PersistError::Corrupt("cached substring length"));
+            }
+            h.insert((len, fp), UtilityAccumulator::from_raw(sum, min, max, count));
+        }
+        let k_requested = r.u64()? as usize;
+        let k_stored = r.u64()? as usize;
+        let tau = match r.u32()? {
+            u32::MAX => None,
+            t => Some(t),
+        };
+        let distinct_lengths = r.u64()? as usize;
+
+        let ws = WeightedString::new(text, weights)
+            .map_err(|_| PersistError::Corrupt("weighted string"))?;
+        let utility = GlobalUtility::with_parts(aggregator, local);
+        if local == usi_strings::LocalWindow::Product
+            && ws.weights().iter().any(|&w| w <= 0.0)
+        {
+            return Err(PersistError::Corrupt("non-positive weight for product local"));
+        }
+        let psw = utility.local_index(ws.weights());
+        let stats = BuildStats {
+            n,
+            k_requested,
+            k_stored,
+            tau,
+            distinct_lengths,
+            ..BuildStats::default()
+        };
+        Ok(UsiIndex::from_parts(
+            ws,
+            sa,
+            psw,
+            fingerprinter,
+            utility,
+            h,
+            stats,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::UsiBuilder;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sample_index() -> UsiIndex {
+        let mut rng = StdRng::seed_from_u64(201);
+        let n = 500;
+        let text: Vec<u8> = (0..n).map(|_| b'a' + rng.gen_range(0..4u8)).collect();
+        let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..2.0)).collect();
+        let ws = WeightedString::new(text, weights).unwrap();
+        UsiBuilder::new().with_k(40).deterministic(203).build(ws)
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_answer() {
+        let index = sample_index();
+        let mut buf = Vec::new();
+        index.write_to(&mut buf).unwrap();
+        let loaded = UsiIndex::read_from(&mut buf.as_slice()).unwrap();
+
+        assert_eq!(loaded.cached_substrings(), index.cached_substrings());
+        assert_eq!(loaded.stats().tau, index.stats().tau);
+        let text = index.text().to_vec();
+        let mut rng = StdRng::seed_from_u64(205);
+        for _ in 0..200 {
+            let m = rng.gen_range(1..10usize);
+            let i = rng.gen_range(0..text.len() - m);
+            let pat = &text[i..i + m];
+            let a = index.query(pat);
+            let b = loaded.query(pat);
+            assert_eq!(a.occurrences, b.occurrences, "{pat:?}");
+            assert_eq!(a.value, b.value, "{pat:?}");
+            assert_eq!(a.source, b.source, "{pat:?}");
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = Vec::new();
+        sample_index().write_to(&mut buf).unwrap();
+        buf[0] = b'X';
+        assert!(matches!(
+            UsiIndex::read_from(&mut buf.as_slice()),
+            Err(PersistError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let mut buf = Vec::new();
+        sample_index().write_to(&mut buf).unwrap();
+        for cut in [8usize, 20, buf.len() / 2, buf.len() - 3] {
+            let short = buf[..cut].to_vec();
+            assert!(
+                UsiIndex::read_from(&mut &short[..]).is_err(),
+                "cut at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_suffix_array_rejected() {
+        let index = sample_index();
+        let mut buf = Vec::new();
+        index.write_to(&mut buf).unwrap();
+        // SA starts after magic(8) + agg(1) + base(8) + n(8) + text + weights
+        let n = index.text().len();
+        let sa_off = 8 + 1 + 8 + 8 + n + 8 * n;
+        // duplicate the first SA entry into the second
+        let first: [u8; 4] = buf[sa_off..sa_off + 4].try_into().unwrap();
+        buf[sa_off + 4..sa_off + 8].copy_from_slice(&first);
+        assert!(matches!(
+            UsiIndex::read_from(&mut buf.as_slice()),
+            Err(PersistError::Corrupt("suffix array permutation"))
+        ));
+    }
+
+    #[test]
+    fn empty_index_roundtrips() {
+        let ws = WeightedString::new(vec![], vec![]).unwrap();
+        let index = UsiBuilder::new().with_k(1).deterministic(207).build(ws);
+        let mut buf = Vec::new();
+        index.write_to(&mut buf).unwrap();
+        let loaded = UsiIndex::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.query(b"a").occurrences, 0);
+    }
+}

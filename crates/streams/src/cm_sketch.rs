@@ -1,0 +1,183 @@
+//! The count-min sketch of Cormode and Muthukrishnan (paper reference
+//! \[23\]); also the frequency store of the BSL4 query baseline.
+//!
+//! A `depth × width` table of counters; an item increments one counter
+//! per row (chosen by per-row hashing) and is estimated by the minimum
+//! over its row counters — an over-estimate with error `≤ εN` w.p.
+//! `1 − δ` for `width = ⌈e/ε⌉`, `depth = ⌈ln 1/δ⌉`.
+
+use usi_strings::FxHashMap;
+
+/// Count-min sketch over `u64` items.
+///
+/// ```
+/// use usi_streams::CmSketch;
+/// let mut cm = CmSketch::new(256, 4, 0xfeed);
+/// for _ in 0..10 { cm.insert(42); }
+/// assert!(cm.estimate(42) >= 10); // one-sided error
+/// ```
+#[derive(Debug, Clone)]
+pub struct CmSketch {
+    width: usize,
+    depth: usize,
+    table: Vec<u64>,
+    /// Per-row hash seeds (odd multipliers for multiply-shift hashing).
+    seeds: Vec<u64>,
+    processed: u64,
+}
+
+impl CmSketch {
+    /// A sketch of `depth` rows of `width` counters each; `seed` makes
+    /// the row hash functions deterministic.
+    pub fn new(width: usize, depth: usize, seed: u64) -> Self {
+        assert!(width >= 1 && depth >= 1, "sketch dimensions must be positive");
+        let width = width.next_power_of_two();
+        // Odd multipliers derived from a splitmix64 walk.
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            (z ^ (z >> 31)) | 1
+        };
+        let seeds: Vec<u64> = (0..depth).map(|_| next()).collect();
+        Self {
+            width,
+            depth,
+            table: vec![0; width * depth],
+            seeds,
+            processed: 0,
+        }
+    }
+
+    /// Sketch sized for error `ε` and failure probability `δ`.
+    pub fn with_error(epsilon: f64, delta: f64, seed: u64) -> Self {
+        let width = (std::f64::consts::E / epsilon).ceil() as usize;
+        let depth = (1.0 / delta).ln().ceil().max(1.0) as usize;
+        Self::new(width, depth, seed)
+    }
+
+    #[inline]
+    fn cell(&self, row: usize, item: u64) -> usize {
+        // multiply-shift: high bits of seed*item select the column
+        let h = self.seeds[row].wrapping_mul(item);
+        let col = (h >> (64 - self.width.trailing_zeros())) as usize;
+        row * self.width + col
+    }
+
+    /// Adds `count` occurrences of `item`.
+    pub fn insert_many(&mut self, item: u64, count: u64) {
+        self.processed += count;
+        for row in 0..self.depth {
+            let c = self.cell(row, item);
+            self.table[c] += count;
+        }
+    }
+
+    /// Adds one occurrence of `item`.
+    pub fn insert(&mut self, item: u64) {
+        self.insert_many(item, 1);
+    }
+
+    /// Estimated count: the row minimum (never under-estimates).
+    pub fn estimate(&self, item: u64) -> u64 {
+        (0..self.depth)
+            .map(|row| self.table[self.cell(row, item)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Total insertions.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Approximate heap footprint.
+    pub fn state_bytes(&self) -> usize {
+        self.table.capacity() * std::mem::size_of::<u64>()
+            + self.seeds.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+/// A convenience exact counter with the same interface, for tests that
+/// quantify sketch error.
+#[derive(Debug, Default, Clone)]
+pub struct ExactCounter {
+    counts: FxHashMap<u64, u64>,
+}
+
+impl ExactCounter {
+    /// Empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one occurrence.
+    pub fn insert(&mut self, item: u64) {
+        *self.counts.entry(item).or_insert(0) += 1;
+    }
+
+    /// True count.
+    pub fn estimate(&self, item: u64) -> u64 {
+        self.counts.get(&item).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn one_sided_error() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut cm = CmSketch::new(64, 4, 77);
+        let mut exact = ExactCounter::new();
+        for _ in 0..5000 {
+            let item = rng.gen_range(0..200u64);
+            cm.insert(item);
+            exact.insert(item);
+        }
+        for item in 0..200u64 {
+            assert!(cm.estimate(item) >= exact.estimate(item), "item {item}");
+        }
+    }
+
+    #[test]
+    fn error_bound_holds_on_average() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 20_000u64;
+        let mut cm = CmSketch::with_error(0.01, 0.01, 5);
+        let mut exact = ExactCounter::new();
+        for _ in 0..n {
+            // Zipf-ish: many light items, few heavy
+            let item = (rng.gen_range(0.0f64..1.0).powi(3) * 1000.0) as u64;
+            cm.insert(item);
+            exact.insert(item);
+        }
+        let bad = (0..1000u64)
+            .filter(|&i| cm.estimate(i) > exact.estimate(i) + (0.01 * n as f64) as u64)
+            .count();
+        assert!(bad < 20, "{bad} items exceed the εN bound");
+    }
+
+    #[test]
+    fn insert_many_equals_repeated_insert() {
+        let mut a = CmSketch::new(32, 3, 9);
+        let mut b = CmSketch::new(32, 3, 9);
+        a.insert_many(5, 10);
+        for _ in 0..10 {
+            b.insert(5);
+        }
+        assert_eq!(a.estimate(5), b.estimate(5));
+        assert_eq!(a.processed(), b.processed());
+    }
+
+    #[test]
+    fn width_rounds_to_power_of_two() {
+        let cm = CmSketch::new(100, 2, 1);
+        assert_eq!(cm.width, 128);
+    }
+}

@@ -1,0 +1,258 @@
+//! HeavyKeeper (Yang et al., IEEE/ACM ToN 2019; paper reference \[24\]).
+//!
+//! The "count-with-exponential-decay" sketch: each bucket stores a
+//! fingerprint and a counter. A matching item increments its counter
+//! (count-all); a colliding item decays the counter with probability
+//! `b^{-count}` and takes the bucket over when it hits zero. On top of
+//! the sketch sits a min-heap summary (`ssummary`) of the `k`
+//! highest-estimated items — the structure `SubstringHK` reuses.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use usi_strings::FxHashMap;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Bucket {
+    fingerprint: u64,
+    count: u32,
+}
+
+/// HeavyKeeper sketch plus top-`k` summary over `u64` items.
+///
+/// ```
+/// use usi_streams::HeavyKeeper;
+/// let mut hk = HeavyKeeper::new(4, 128, 2, 1.08, 7);
+/// for _ in 0..50 { hk.insert(1); }
+/// for x in 0..30u64 { hk.insert(100 + x); }
+/// let top = hk.top_k();
+/// assert_eq!(top[0].0, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HeavyKeeper {
+    k: usize,
+    width: usize,
+    depth: usize,
+    decay_base: f64,
+    buckets: Vec<Bucket>,
+    seeds: Vec<u64>,
+    /// ssummary: item → estimated count.
+    summary: FxHashMap<u64, u64>,
+    /// lazy min-heap over summary estimates.
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
+    rng: SmallRng,
+    processed: u64,
+}
+
+impl HeavyKeeper {
+    /// `k` summary slots, `width × depth` sketch, decay base `b > 1`.
+    pub fn new(k: usize, width: usize, depth: usize, decay_base: f64, seed: u64) -> Self {
+        assert!(k >= 1 && width >= 1 && depth >= 1);
+        assert!(decay_base > 1.0, "decay base must exceed 1");
+        let width = width.next_power_of_two();
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            (z ^ (z >> 31)) | 1
+        };
+        let seeds: Vec<u64> = (0..depth).map(|_| next()).collect();
+        Self {
+            k,
+            width,
+            depth,
+            decay_base,
+            buckets: vec![Bucket::default(); width * depth],
+            seeds,
+            summary: FxHashMap::default(),
+            heap: BinaryHeap::new(),
+            rng: SmallRng::seed_from_u64(seed ^ 0xdead_beef),
+            processed: 0,
+        }
+    }
+
+    /// Sensible defaults for a stream expected to hold `k` heavy items.
+    pub fn with_k(k: usize, seed: u64) -> Self {
+        Self::new(k, (8 * k).max(64), 2, 1.08, seed)
+    }
+
+    #[inline]
+    fn cell(&self, row: usize, item: u64) -> usize {
+        let h = self.seeds[row].wrapping_mul(item);
+        let col = (h >> (64 - self.width.trailing_zeros())) as usize;
+        row * self.width + col
+    }
+
+    /// Sketch-only estimate: max over rows of matching-fingerprint counts.
+    pub fn sketch_estimate(&self, item: u64) -> u64 {
+        (0..self.depth)
+            .map(|row| {
+                let b = &self.buckets[self.cell(row, item)];
+                if b.fingerprint == item {
+                    b.count as u64
+                } else {
+                    0
+                }
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn summary_min(&mut self) -> Option<(u64, u64)> {
+        while let Some(&Reverse((count, item))) = self.heap.peek() {
+            match self.summary.get(&item) {
+                Some(&current) if current == count => return Some((count, item)),
+                _ => {
+                    self.heap.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// Feeds one item; returns `true` if the item is now in `ssummary`
+    /// (the membership signal `SubstringHK`'s extension rule gates on).
+    pub fn insert(&mut self, item: u64) -> bool {
+        self.processed += 1;
+        // --- sketch update ---
+        for row in 0..self.depth {
+            let decay_base = self.decay_base;
+            let idx = self.cell(row, item);
+            let b = &mut self.buckets[idx];
+            if b.count == 0 {
+                b.fingerprint = item;
+                b.count = 1;
+            } else if b.fingerprint == item {
+                b.count = b.count.saturating_add(1);
+            } else {
+                let p = decay_base.powi(-(b.count as i32));
+                if self.rng.gen_bool(p.clamp(0.0, 1.0)) {
+                    b.count -= 1;
+                    if b.count == 0 {
+                        b.fingerprint = item;
+                        b.count = 1;
+                    }
+                }
+            }
+        }
+        let est = self.sketch_estimate(item);
+
+        // --- summary update ---
+        if let Some(c) = self.summary.get_mut(&item) {
+            if est > *c {
+                *c = est;
+                self.heap.push(Reverse((est, item)));
+            }
+            return true;
+        }
+        if self.summary.len() < self.k {
+            self.summary.insert(item, est.max(1));
+            self.heap.push(Reverse((est.max(1), item)));
+            return true;
+        }
+        let (min_count, min_item) = self
+            .summary_min()
+            .expect("non-empty summary has a live heap entry");
+        if est > min_count {
+            self.heap.pop();
+            self.summary.remove(&min_item);
+            self.summary.insert(item, est);
+            self.heap.push(Reverse((est, item)));
+            return true;
+        }
+        false
+    }
+
+    /// Whether `item` currently sits in `ssummary`.
+    pub fn contains(&self, item: u64) -> bool {
+        self.summary.contains_key(&item)
+    }
+
+    /// The summary, sorted by estimate descending.
+    pub fn top_k(&self) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self.summary.iter().map(|(&i, &c)| (i, c)).collect();
+        v.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Total insertions.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Approximate heap footprint.
+    pub fn state_bytes(&self) -> usize {
+        self.buckets.capacity() * std::mem::size_of::<Bucket>()
+            + self.summary.capacity() * (std::mem::size_of::<(u64, u64)>() + 1)
+            + self.heap.len() * std::mem::size_of::<Reverse<(u64, u64)>>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn finds_elephants_among_mice() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut hk = HeavyKeeper::with_k(5, 11);
+        // 5 elephants with ~500 occurrences, 2000 mice with 1-2
+        let mut stream = Vec::new();
+        for e in 0..5u64 {
+            for _ in 0..500 {
+                stream.push(e);
+            }
+        }
+        for m in 0..2000u64 {
+            stream.push(1000 + m);
+        }
+        use rand::seq::SliceRandom;
+        stream.shuffle(&mut rng);
+        for &x in &stream {
+            hk.insert(x);
+        }
+        let top: Vec<u64> = hk.top_k().iter().map(|&(i, _)| i).collect();
+        for e in 0..5u64 {
+            assert!(top.contains(&e), "elephant {e} missing from {top:?}");
+        }
+    }
+
+    #[test]
+    fn estimates_close_to_truth_for_heavy_items() {
+        let mut hk = HeavyKeeper::with_k(3, 13);
+        for _ in 0..1000 {
+            hk.insert(42);
+        }
+        let est = hk.top_k()[0].1;
+        assert!(est >= 900, "estimate {est} too low for 1000 inserts");
+        assert!(est <= 1000, "HeavyKeeper must not overestimate a clean stream");
+    }
+
+    #[test]
+    fn membership_signal() {
+        let mut hk = HeavyKeeper::with_k(2, 17);
+        assert!(hk.insert(1)); // room available
+        assert!(hk.insert(2));
+        assert!(hk.contains(1) && hk.contains(2));
+        // a one-shot newcomer against established items is rejected
+        for _ in 0..50 {
+            hk.insert(1);
+            hk.insert(2);
+        }
+        assert!(!hk.insert(3));
+        assert!(!hk.contains(3));
+    }
+
+    #[test]
+    fn summary_never_exceeds_k() {
+        let mut hk = HeavyKeeper::with_k(4, 19);
+        for x in 0..500u64 {
+            hk.insert(x % 50);
+        }
+        assert!(hk.top_k().len() <= 4);
+    }
+}

@@ -1,0 +1,64 @@
+//! Streaming heavy-hitter algorithms and their substring adaptations
+//! (paper, Section VII and the Section-IX comparisons).
+//!
+//! The paper demonstrates — theoretically and experimentally — that
+//! state-of-the-art top-K *item* mining strategies do not smoothly
+//! translate to top-K *substring* mining. This crate implements both the
+//! item-level building blocks and the two substring adaptations used as
+//! competitors in the evaluation:
+//!
+//! * [`misra_gries`] — the deterministic `K`-counter scheme of Misra and
+//!   Gries (1982);
+//! * [`space_saving`] — the SpaceSaving counter scheme of Metwally et al.
+//!   (ICDT 2005);
+//! * [`cm_sketch`] — the count-min sketch of Cormode and Muthukrishnan
+//!   (also used by the BSL4 query baseline);
+//! * [`heavy_keeper`] — HeavyKeeper (Yang et al., ToN 2019): count-with-
+//!   exponential-decay buckets plus a top-K summary;
+//! * [`substring_hk`] — `SubstringHK`: the paper's adaptation of
+//!   HeavyKeeper to the substrings of a single string;
+//! * [`topk_trie`] — `Top-K Trie`: a Misra–Gries-style trie over
+//!   substrings in `O(K)` space (after Dinklage, Fischer and Prezza,
+//!   SEA 2024).
+//!
+//! Both substring adaptations are *expected to be inaccurate* on inputs
+//! with long frequent substrings — that is the point of Section VII; the
+//! `(AB)^{n/2}` failure instance appears in the tests.
+
+pub mod cm_sketch;
+pub mod heavy_keeper;
+pub mod misra_gries;
+pub mod space_saving;
+pub mod substring_hk;
+pub mod topk_trie;
+
+pub use cm_sketch::CmSketch;
+pub use heavy_keeper::HeavyKeeper;
+pub use misra_gries::MisraGries;
+pub use space_saving::SpaceSaving;
+pub use substring_hk::{SubstringHk, SubstringHkConfig};
+pub use topk_trie::TopKTrie;
+
+/// A substring reported by a streaming miner, with its estimated
+/// frequency. Owned bytes: streaming structures spell strings out of
+/// their own state rather than referencing the text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinedString {
+    /// The substring.
+    pub bytes: Vec<u8>,
+    /// The miner's frequency estimate.
+    pub freq: u64,
+}
+
+/// Common interface of the substring miners, used by the experiment
+/// harness to sweep competitors uniformly.
+pub trait SubstringMiner {
+    /// Short identifier used in reports (`"SH"`, `"TT"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Mines (an estimate of) the top-`k` frequent substrings of `text`.
+    fn mine(&mut self, text: &[u8], k: usize) -> Vec<MinedString>;
+
+    /// Approximate heap footprint of the miner state after `mine`.
+    fn state_bytes(&self) -> usize;
+}

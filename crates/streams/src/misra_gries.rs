@@ -1,0 +1,142 @@
+//! The Misra–Gries frequent-items algorithm (paper reference \[21\]).
+//!
+//! Keeps at most `k` counters. Every item with true frequency
+//! `> N / (k + 1)` is guaranteed to survive; reported counts
+//! under-estimate by at most `N / (k + 1)`.
+
+use usi_strings::FxHashMap;
+
+/// `K`-counter Misra–Gries summary over `u64` items.
+///
+/// ```
+/// use usi_streams::MisraGries;
+/// let mut mg = MisraGries::new(2);
+/// for x in [1u64, 1, 1, 2, 3, 1, 2] { mg.insert(x); }
+/// let top = mg.items();
+/// assert_eq!(top[0].0, 1); // the heavy hitter survives
+/// ```
+#[derive(Debug, Clone)]
+pub struct MisraGries {
+    k: usize,
+    counters: FxHashMap<u64, u64>,
+    processed: u64,
+}
+
+impl MisraGries {
+    /// A summary with `k ≥ 1` counters.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "Misra-Gries needs at least one counter");
+        Self {
+            k,
+            counters: FxHashMap::default(),
+            processed: 0,
+        }
+    }
+
+    /// Number of counters.
+    pub fn capacity(&self) -> usize {
+        self.k
+    }
+
+    /// Number of stream items processed.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Feeds one item.
+    pub fn insert(&mut self, item: u64) {
+        self.processed += 1;
+        if let Some(c) = self.counters.get_mut(&item) {
+            *c += 1;
+            return;
+        }
+        if self.counters.len() < self.k {
+            self.counters.insert(item, 1);
+            return;
+        }
+        // Decrement-all step; drop exhausted counters.
+        self.counters.retain(|_, c| {
+            *c -= 1;
+            *c > 0
+        });
+    }
+
+    /// Estimated count of `item` (a lower bound on its true frequency).
+    pub fn estimate(&self, item: u64) -> u64 {
+        self.counters.get(&item).copied().unwrap_or(0)
+    }
+
+    /// Surviving items, sorted by estimated count descending.
+    pub fn items(&self) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self.counters.iter().map(|(&i, &c)| (i, c)).collect();
+        v.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Approximate heap footprint.
+    pub fn state_bytes(&self) -> usize {
+        self.counters.capacity() * (std::mem::size_of::<(u64, u64)>() + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::HashMap;
+
+    #[test]
+    fn heavy_hitter_guarantee() {
+        // any item with frequency > N/(k+1) must survive
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let k = rng.gen_range(1..8usize);
+            let n = rng.gen_range(20..300usize);
+            let stream: Vec<u64> = (0..n).map(|_| rng.gen_range(0..10u64)).collect();
+            let mut mg = MisraGries::new(k);
+            let mut truth: HashMap<u64, u64> = HashMap::new();
+            for &x in &stream {
+                mg.insert(x);
+                *truth.entry(x).or_insert(0) += 1;
+            }
+            let threshold = n as u64 / (k as u64 + 1);
+            for (&item, &f) in &truth {
+                if f > threshold {
+                    assert!(
+                        mg.estimate(item) > 0,
+                        "item {item} freq {f} > {threshold} evicted (k={k}, n={n})"
+                    );
+                }
+                // estimates never exceed the truth and undershoot ≤ threshold
+                assert!(mg.estimate(item) <= f);
+                if mg.estimate(item) > 0 {
+                    assert!(f - mg.estimate(item) <= threshold);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_when_distinct_fit() {
+        let mut mg = MisraGries::new(10);
+        for x in [1u64, 2, 3, 1, 2, 1] {
+            mg.insert(x);
+        }
+        assert_eq!(mg.estimate(1), 3);
+        assert_eq!(mg.estimate(2), 2);
+        assert_eq!(mg.estimate(3), 1);
+        assert_eq!(mg.items()[0], (1, 3));
+    }
+
+    #[test]
+    fn adversarial_distinct_stream_empties_counters() {
+        // k=1 with all-distinct items: every second item cancels the counter
+        let mut mg = MisraGries::new(1);
+        for x in 0..100u64 {
+            mg.insert(x);
+        }
+        assert!(mg.items().len() <= 1);
+        assert_eq!(mg.processed(), 100);
+    }
+}

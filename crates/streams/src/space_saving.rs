@@ -1,0 +1,181 @@
+//! The SpaceSaving algorithm of Metwally, Agrawal and El Abbadi (paper
+//! reference \[22\]).
+//!
+//! Keeps exactly `k` monitored items. A new item evicts the currently
+//! minimal counter and *inherits* its count plus one, so estimates
+//! over-approximate by at most the evicted minimum (stored as the error
+//! term). Eviction uses a lazily-cleaned min-heap for `O(log k)` updates.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use usi_strings::FxHashMap;
+
+/// SpaceSaving summary over `u64` items.
+///
+/// ```
+/// use usi_streams::SpaceSaving;
+/// let mut ss = SpaceSaving::new(2);
+/// for x in [7u64, 7, 7, 8, 9, 7] { ss.insert(x); }
+/// assert!(ss.estimate(7) >= 4); // never under-estimates
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpaceSaving {
+    k: usize,
+    /// item → (count, error at admission)
+    counters: FxHashMap<u64, (u64, u64)>,
+    /// lazy min-heap of (count, item); entries may be stale.
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
+    processed: u64,
+}
+
+impl SpaceSaving {
+    /// A summary monitoring `k ≥ 1` items.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "SpaceSaving needs at least one counter");
+        Self {
+            k,
+            counters: FxHashMap::default(),
+            heap: BinaryHeap::new(),
+            processed: 0,
+        }
+    }
+
+    /// Number of monitored items.
+    pub fn capacity(&self) -> usize {
+        self.k
+    }
+
+    /// Number of stream items processed.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    fn pop_true_min(&mut self) -> Option<(u64, u64)> {
+        while let Some(&Reverse((count, item))) = self.heap.peek() {
+            match self.counters.get(&item) {
+                Some(&(current, _)) if current == count => {
+                    self.heap.pop();
+                    return Some((count, item));
+                }
+                _ => {
+                    self.heap.pop(); // stale entry
+                }
+            }
+        }
+        None
+    }
+
+    /// Feeds one item.
+    pub fn insert(&mut self, item: u64) {
+        self.processed += 1;
+        if let Some((count, _)) = self.counters.get_mut(&item) {
+            *count += 1;
+            self.heap.push(Reverse((*count, item)));
+            return;
+        }
+        if self.counters.len() < self.k {
+            self.counters.insert(item, (1, 0));
+            self.heap.push(Reverse((1, item)));
+            return;
+        }
+        // Evict the minimum; the newcomer inherits min + 1 with error = min.
+        let (min_count, min_item) = self
+            .pop_true_min()
+            .expect("counters non-empty implies a live heap entry");
+        self.counters.remove(&min_item);
+        self.counters.insert(item, (min_count + 1, min_count));
+        self.heap.push(Reverse((min_count + 1, item)));
+    }
+
+    /// Estimated count (an upper bound for monitored items; 0 when the
+    /// item is not monitored).
+    pub fn estimate(&self, item: u64) -> u64 {
+        self.counters.get(&item).map_or(0, |&(c, _)| c)
+    }
+
+    /// Over-estimation bound recorded at admission time.
+    pub fn error(&self, item: u64) -> u64 {
+        self.counters.get(&item).map_or(0, |&(_, e)| e)
+    }
+
+    /// Monitored items sorted by estimated count descending.
+    pub fn items(&self) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self.counters.iter().map(|(&i, &(c, _))| (i, c)).collect();
+        v.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Approximate heap footprint.
+    pub fn state_bytes(&self) -> usize {
+        self.counters.capacity() * (std::mem::size_of::<(u64, (u64, u64))>() + 1)
+            + self.heap.len() * std::mem::size_of::<Reverse<(u64, u64)>>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::HashMap;
+
+    #[test]
+    fn never_underestimates_monitored_items() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let k = rng.gen_range(2..10usize);
+            let n = rng.gen_range(20..400usize);
+            let stream: Vec<u64> = (0..n).map(|_| rng.gen_range(0..12u64)).collect();
+            let mut ss = SpaceSaving::new(k);
+            let mut truth: HashMap<u64, u64> = HashMap::new();
+            for &x in &stream {
+                ss.insert(x);
+                *truth.entry(x).or_insert(0) += 1;
+            }
+            for (item, est) in ss.items() {
+                let f = truth[&item];
+                assert!(est >= f, "item {item}: est {est} < true {f}");
+                assert!(est - ss.error(item) <= f, "error bound violated");
+            }
+            // heavy-hitter guarantee: freq > N/k must be monitored
+            for (&item, &f) in &truth {
+                if f > (n / k) as u64 {
+                    assert!(ss.estimate(item) > 0, "heavy item {item} lost");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_when_distinct_fit() {
+        let mut ss = SpaceSaving::new(5);
+        for x in [1u64, 1, 2, 3, 1] {
+            ss.insert(x);
+        }
+        assert_eq!(ss.estimate(1), 3);
+        assert_eq!(ss.error(1), 0);
+        assert_eq!(ss.items()[0], (1, 3));
+    }
+
+    #[test]
+    fn eviction_inherits_min_plus_one() {
+        let mut ss = SpaceSaving::new(1);
+        ss.insert(1);
+        ss.insert(1);
+        ss.insert(2); // evicts 1 (count 2), inherits 3
+        assert_eq!(ss.estimate(2), 3);
+        assert_eq!(ss.error(2), 2);
+        assert_eq!(ss.estimate(1), 0);
+    }
+
+    #[test]
+    fn total_count_conservation() {
+        // Σ counts = processed when k = 1 (each step increments exactly one counter)
+        let mut ss = SpaceSaving::new(1);
+        for x in 0..50u64 {
+            ss.insert(x % 3);
+        }
+        let total: u64 = ss.items().iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 50);
+    }
+}

@@ -1,0 +1,204 @@
+//! `SubstringHK`: the paper's adaptation of HeavyKeeper to the substrings
+//! of a single string (Section VII).
+//!
+//! For every position `i`, the single letter `S[i]` is offered to the
+//! HeavyKeeper summary; the window is then extended to `S[i .. i+ℓ]`
+//! (a) only while the previous window `S[i .. i+ℓ−1]` sits in `ssummary`
+//! and (b) with geometric probability `1/c` per extra letter, so the
+//! expected number of hashed substrings per position is `O(1)` and the
+//! total stream length `z` stays linear in `n` on average.
+//!
+//! Substrings are keyed by Karp–Rabin fingerprints mixed with the length.
+//! "The frequency value of a string is the number of times it has been a
+//! candidate for insertion" — which is exactly why the scheme
+//! under-counts long frequent substrings: they are rarely *offered*
+//! (Section VII's failure argument; see the `(AB)^{n/2}` test).
+
+use crate::heavy_keeper::HeavyKeeper;
+use crate::{MinedString, SubstringMiner};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use usi_strings::{Fingerprinter, FxHashMap};
+
+/// Tuning knobs for [`SubstringHk`].
+#[derive(Debug, Clone)]
+pub struct SubstringHkConfig {
+    /// Per-letter extension probability `1/c` (`c > 1`).
+    pub extension_prob: f64,
+    /// HeavyKeeper sketch width multiplier (width = `mult · k`).
+    pub width_mult: usize,
+    /// HeavyKeeper sketch depth.
+    pub depth: usize,
+    /// HeavyKeeper decay base `b`.
+    pub decay_base: f64,
+    /// RNG / hash seed.
+    pub seed: u64,
+}
+
+impl Default for SubstringHkConfig {
+    fn default() -> Self {
+        Self {
+            extension_prob: 0.5, // c = 2
+            width_mult: 8,
+            depth: 2,
+            decay_base: 1.08,
+            seed: 0x6b5a_11ce,
+        }
+    }
+}
+
+/// The `SubstringHK` miner.
+#[derive(Debug, Clone)]
+pub struct SubstringHk {
+    cfg: SubstringHkConfig,
+    last_state_bytes: usize,
+    /// Number of substrings hashed during the last run (the paper's `z`).
+    pub hashed_substrings: u64,
+}
+
+impl SubstringHk {
+    /// A miner with the given configuration.
+    pub fn new(cfg: SubstringHkConfig) -> Self {
+        Self { cfg, last_state_bytes: 0, hashed_substrings: 0 }
+    }
+
+    /// A miner with default parameters and the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Self::new(SubstringHkConfig { seed, ..SubstringHkConfig::default() })
+    }
+}
+
+/// Mixes a fingerprint with the substring length into one summary key.
+#[inline]
+fn key_of(fp: u64, len: usize) -> u64 {
+    let mut z = fp ^ (len as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z ^ (z >> 31)
+}
+
+impl SubstringMiner for SubstringHk {
+    fn name(&self) -> &'static str {
+        "SH"
+    }
+
+    fn mine(&mut self, text: &[u8], k: usize) -> Vec<MinedString> {
+        let n = text.len();
+        if n == 0 || k == 0 {
+            return Vec::new();
+        }
+        let fingerprinter = Fingerprinter::with_base(self.cfg.seed | 1);
+        let table = fingerprinter.table(text);
+        let mut hk = HeavyKeeper::new(
+            k,
+            (self.cfg.width_mult * k).max(64),
+            self.cfg.depth,
+            self.cfg.decay_base,
+            self.cfg.seed,
+        );
+        let mut rng = SmallRng::seed_from_u64(self.cfg.seed ^ 0x5b57_a11c);
+        // key → witness (pos, len) for spelling the report
+        let mut witness: FxHashMap<u64, (u32, u32)> = FxHashMap::default();
+        let mut hashed = 0u64;
+
+        for i in 0..n {
+            let mut len = 1usize;
+            loop {
+                if i + len > n {
+                    break;
+                }
+                let key = key_of(table.substring(i, i + len), len);
+                hashed += 1;
+                let in_summary = hk.insert(key);
+                if in_summary {
+                    witness.entry(key).or_insert((i as u32, len as u32));
+                }
+                // extension gates: membership of the current window, then
+                // the geometric coin
+                if !in_summary || !rng.gen_bool(self.cfg.extension_prob) {
+                    break;
+                }
+                len += 1;
+            }
+        }
+        self.hashed_substrings = hashed;
+        self.last_state_bytes = hk.state_bytes()
+            + witness.capacity() * (std::mem::size_of::<(u64, (u32, u32))>() + 1);
+
+        hk.top_k()
+            .into_iter()
+            .filter_map(|(key, freq)| {
+                witness.get(&key).map(|&(pos, len)| MinedString {
+                    bytes: text[pos as usize..(pos + len) as usize].to_vec(),
+                    freq,
+                })
+            })
+            .collect()
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.last_state_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_letters_are_counted_exactly() {
+        // with k ≥ σ and no competition, every letter is offered n times
+        let text = b"aaabbbbbbcc".to_vec();
+        let mut sh = SubstringHk::with_seed(1);
+        let out = sh.mine(&text, 20);
+        let freq_of = |s: &[u8]| out.iter().find(|m| m.bytes == s).map(|m| m.freq);
+        assert_eq!(freq_of(b"b"), Some(6));
+        assert_eq!(freq_of(b"a"), Some(3));
+        assert_eq!(freq_of(b"c"), Some(2));
+    }
+
+    #[test]
+    fn reports_at_most_k() {
+        let text = b"abcdefghij".repeat(10);
+        let mut sh = SubstringHk::with_seed(2);
+        assert!(sh.mine(&text, 5).len() <= 5);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let mut sh = SubstringHk::with_seed(3);
+        assert!(sh.mine(b"", 5).is_empty());
+        assert!(sh.mine(b"abc", 0).is_empty());
+    }
+
+    #[test]
+    fn hashed_substring_count_is_linear() {
+        // expected z ≈ n · Σ (1/c)^j ≤ 2n for c = 2; allow generous slack
+        let text: Vec<u8> = b"ab".repeat(2000);
+        let mut sh = SubstringHk::with_seed(4);
+        sh.mine(&text, 16);
+        assert!(
+            sh.hashed_substrings <= 4 * text.len() as u64,
+            "z = {} for n = {}",
+            sh.hashed_substrings,
+            text.len()
+        );
+    }
+
+    #[test]
+    fn misses_long_frequent_substrings() {
+        // Section VII: (AB)^{n/2} defeats the extension rule — the
+        // geometric gate alone makes offering a length-ℓ substring
+        // exponentially unlikely, so long frequent substrings are
+        // drastically under-counted or missing.
+        let text = b"AB".repeat(512);
+        let mut sh = SubstringHk::with_seed(5);
+        let out = sh.mine(&text, 16);
+        let longest_reported = out.iter().map(|m| m.bytes.len()).max().unwrap_or(0);
+        // the exact top-16 contains substrings of length up to 16 with
+        // frequency > 1000; SH cannot see anywhere near that depth
+        assert!(
+            longest_reported < 16,
+            "SH unexpectedly reported a length-{longest_reported} substring"
+        );
+    }
+}

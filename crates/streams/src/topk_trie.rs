@@ -1,0 +1,280 @@
+//! `Top-K Trie`: a Misra–Gries-style trie over substrings in `O(K)`
+//! space, after Dinklage, Fischer and Prezza (SEA 2024; paper reference
+//! \[25\], discussed in Section VII).
+//!
+//! The structure keeps at most `K` trie nodes (each spelling one
+//! substring). For every text position the trie is walked as deep as it
+//! matches, incrementing counts along the path; at the first mismatch one
+//! new node is created if the budget allows — so deep paths are built one
+//! node per visit — and otherwise a Misra–Gries decrement-all step fires
+//! (implemented with a global debt counter and lazy pruning).
+//!
+//! Like `SubstringHK`, this is *expected* to fail on long frequent
+//! substrings: building a depth-`d` path needs `d` visits that all
+//! survive the decrements (the paper's Section VII argument; their IOT
+//! experiment shows TT capping out at length 546 vs the true 11,816).
+
+use crate::{MinedString, SubstringMiner};
+use usi_strings::FxHashMap;
+
+const NIL: u32 = u32::MAX;
+const ROOT: u32 = 0;
+
+#[derive(Debug, Clone)]
+struct Node {
+    children: FxHashMap<u8, u32>,
+    parent: u32,
+    letter: u8,
+    /// Stored count; effective count = `count − debt`.
+    count: i64,
+    alive: bool,
+}
+
+/// The Top-K Trie miner.
+#[derive(Debug, Clone)]
+pub struct TopKTrie {
+    /// Debt threshold between full sweeps (amortises decrement-all).
+    sweep_interval: i64,
+    last_state_bytes: usize,
+}
+
+impl Default for TopKTrie {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TopKTrie {
+    /// A miner with the default sweep interval.
+    pub fn new() -> Self {
+        Self { sweep_interval: 16, last_state_bytes: 0 }
+    }
+}
+
+struct TrieState {
+    nodes: Vec<Node>,
+    live: usize,
+    budget: usize,
+    debt: i64,
+    last_sweep_debt: i64,
+}
+
+impl TrieState {
+    fn new(budget: usize) -> Self {
+        let root = Node {
+            children: FxHashMap::default(),
+            parent: NIL,
+            letter: 0,
+            count: i64::MAX / 2, // the root (empty string) never dies
+            alive: true,
+        };
+        Self { nodes: vec![root], live: 0, budget, debt: 0, last_sweep_debt: 0 }
+    }
+
+    #[inline]
+    fn effective(&self, v: u32) -> i64 {
+        self.nodes[v as usize].count - self.debt
+    }
+
+    /// Removes dead subtrees (effective count ≤ 0). Children of a dead
+    /// node die with it (their counts are never larger than an ancestor's
+    /// by construction — increments flow along root-to-node paths).
+    fn sweep(&mut self) {
+        let mut stack: Vec<u32> = vec![ROOT];
+        while let Some(v) = stack.pop() {
+            let dead: Vec<(u8, u32)> = self.nodes[v as usize]
+                .children
+                .iter()
+                .filter(|&(_, &c)| self.effective(c) <= 0)
+                .map(|(&l, &c)| (l, c))
+                .collect();
+            for (letter, child) in dead {
+                self.nodes[v as usize].children.remove(&letter);
+                self.kill_subtree(child);
+            }
+            stack.extend(self.nodes[v as usize].children.values().copied());
+        }
+        self.last_sweep_debt = self.debt;
+    }
+
+    fn kill_subtree(&mut self, v: u32) {
+        let mut stack = vec![v];
+        while let Some(u) = stack.pop() {
+            if self.nodes[u as usize].alive {
+                self.nodes[u as usize].alive = false;
+                self.live -= 1;
+            }
+            stack.extend(self.nodes[u as usize].children.values().copied());
+            self.nodes[u as usize].children.clear();
+        }
+    }
+
+    fn spell(&self, mut v: u32) -> Vec<u8> {
+        let mut out = Vec::new();
+        while v != ROOT {
+            out.push(self.nodes[v as usize].letter);
+            v = self.nodes[v as usize].parent;
+        }
+        out.reverse();
+        out
+    }
+}
+
+impl SubstringMiner for TopKTrie {
+    fn name(&self) -> &'static str {
+        "TT"
+    }
+
+    fn mine(&mut self, text: &[u8], k: usize) -> Vec<MinedString> {
+        let n = text.len();
+        if n == 0 || k == 0 {
+            return Vec::new();
+        }
+        let mut st = TrieState::new(k);
+
+        for i in 0..n {
+            let mut v = ROOT;
+            let mut depth = 0usize;
+            loop {
+                if i + depth >= n {
+                    break;
+                }
+                let c = text[i + depth];
+                let child = st.nodes[v as usize].children.get(&c).copied();
+                match child {
+                    Some(u) if st.effective(u) > 0 => {
+                        st.nodes[u as usize].count += 1;
+                        v = u;
+                        depth += 1;
+                    }
+                    Some(u) => {
+                        // lazily prune the dead child and retry as missing
+                        st.nodes[v as usize].children.remove(&c);
+                        st.kill_subtree(u);
+                        continue;
+                    }
+                    None => {
+                        if st.live < st.budget {
+                            // grow the path by exactly one node
+                            let idx = st.nodes.len() as u32;
+                            st.nodes.push(Node {
+                                children: FxHashMap::default(),
+                                parent: v,
+                                letter: c,
+                                count: st.debt + 1,
+                                alive: true,
+                            });
+                            st.nodes[v as usize].children.insert(c, idx);
+                            st.live += 1;
+                        } else {
+                            // Misra–Gries decrement-all via global debt
+                            st.debt += 1;
+                            if st.debt - st.last_sweep_debt >= self.sweep_interval {
+                                st.sweep();
+                            }
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Report the k highest effective counts among live nodes.
+        let mut items: Vec<(u32, i64)> = (1..st.nodes.len() as u32)
+            .filter(|&v| st.nodes[v as usize].alive && st.effective(v) > 0)
+            .map(|v| (v, st.effective(v)))
+            .collect();
+        items.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        items.truncate(k);
+        self.last_state_bytes = st.nodes.capacity() * std::mem::size_of::<Node>()
+            + st
+                .nodes
+                .iter()
+                .map(|nd| nd.children.capacity() * (std::mem::size_of::<(u8, u32)>() + 1))
+                .sum::<usize>();
+        items
+            .into_iter()
+            .map(|(v, count)| MinedString { bytes: st.spell(v), freq: count as u64 })
+            .collect()
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.last_state_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grow_one_node_per_visit_semantics() {
+        // "abab" with ample budget: single letters are exact (their nodes
+        // appear on first visit), but deeper nodes only count occurrences
+        // *after* their creation — "ab" is created at its second
+        // occurrence and therefore reports 1, and "aba"/"abab" are never
+        // materialised. This under-counting of deep paths is precisely
+        // the Section-VII failure mode.
+        let mut tt = TopKTrie::new();
+        let out = tt.mine(b"abab", 100);
+        let freq_of = |s: &[u8]| out.iter().find(|m| m.bytes == s).map(|m| m.freq);
+        assert_eq!(freq_of(b"a"), Some(2));
+        assert_eq!(freq_of(b"b"), Some(2));
+        assert_eq!(freq_of(b"ab"), Some(1));
+        assert_eq!(freq_of(b"aba"), None);
+        assert_eq!(freq_of(b"abab"), None);
+    }
+
+    #[test]
+    fn respects_budget() {
+        let text = b"the quick brown fox jumps over the lazy dog".repeat(5);
+        let mut tt = TopKTrie::new();
+        let out = tt.mine(&text, 10);
+        assert!(out.len() <= 10);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let mut tt = TopKTrie::new();
+        assert!(tt.mine(b"", 5).is_empty());
+        assert!(tt.mine(b"abc", 0).is_empty());
+    }
+
+    #[test]
+    fn counts_never_exceed_truth_with_ample_budget() {
+        let text = b"banana".repeat(4);
+        let mut tt = TopKTrie::new();
+        let out = tt.mine(&text, 10_000);
+        for m in &out {
+            let truth = text
+                .windows(m.bytes.len())
+                .filter(|w| *w == &m.bytes[..])
+                .count() as u64;
+            assert!(m.freq <= truth, "{:?}: {} > {truth}", m.bytes, m.freq);
+        }
+    }
+
+    #[test]
+    fn struggles_on_alternating_text() {
+        // Section VII failure instance: S = (AB)^{n/2}, n/2 ≥ K > 4.
+        // The exact top-K contains long alternating substrings with high
+        // frequency; the K-node trie cannot hold and grow them.
+        let k = 16;
+        let text = b"AB".repeat(512); // n/2 = 512 ≥ K
+        let mut tt = TopKTrie::new();
+        let out = tt.mine(&text, k);
+        // exact: substring of length ℓ occurs n − ℓ + 1 times; the top-16
+        // are lengths 1..=8 with frequencies ≥ 1017.
+        let exact_hits = out
+            .iter()
+            .filter(|m| {
+                let truth = text.windows(m.bytes.len()).filter(|w| *w == &m.bytes[..]).count() as u64;
+                m.freq == truth && truth >= 1017
+            })
+            .count();
+        assert!(
+            exact_hits <= k / 2,
+            "TT unexpectedly recovered {exact_hits}/{k} of the top-K exactly"
+        );
+    }
+}

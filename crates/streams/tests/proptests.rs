@@ -1,0 +1,97 @@
+//! Property-based tests for the streaming structures: the classical
+//! guarantees must hold on arbitrary streams.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use usi_streams::{CmSketch, HeavyKeeper, MisraGries, SpaceSaving, SubstringMiner, TopKTrie};
+
+fn stream_strategy() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..30, 1..400)
+}
+
+proptest! {
+    /// Misra–Gries: estimates are lower bounds with error ≤ N/(k+1), and
+    /// every item with frequency > N/(k+1) survives.
+    #[test]
+    fn misra_gries_guarantees(stream in stream_strategy(), k in 1usize..10) {
+        let mut mg = MisraGries::new(k);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &x in &stream {
+            mg.insert(x);
+            *truth.entry(x).or_insert(0) += 1;
+        }
+        let bound = stream.len() as u64 / (k as u64 + 1);
+        for (&item, &f) in &truth {
+            let est = mg.estimate(item);
+            prop_assert!(est <= f);
+            if est > 0 {
+                prop_assert!(f - est <= bound);
+            }
+            if f > bound {
+                prop_assert!(est > 0, "heavy item {item} lost");
+            }
+        }
+    }
+
+    /// SpaceSaving: estimates are upper bounds; est − err is a lower bound.
+    #[test]
+    fn space_saving_guarantees(stream in stream_strategy(), k in 1usize..10) {
+        let mut ss = SpaceSaving::new(k);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &x in &stream {
+            ss.insert(x);
+            *truth.entry(x).or_insert(0) += 1;
+        }
+        for (item, est) in ss.items() {
+            let f = truth[&item];
+            prop_assert!(est >= f, "item {item}: {est} < {f}");
+            prop_assert!(est - ss.error(item) <= f);
+        }
+        // counter conservation: Σ estimates ≥ N/k · k? weaker: total ≥ N·min(1, k/|distinct|)
+        let total: u64 = ss.items().iter().map(|&(_, c)| c).sum();
+        prop_assert!(total as usize >= stream.len().min(stream.len() * k / 30));
+    }
+
+    /// Count-min: never under-estimates.
+    #[test]
+    fn cm_sketch_one_sided(stream in stream_strategy(), seed in any::<u64>()) {
+        let mut cm = CmSketch::new(64, 3, seed);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &x in &stream {
+            cm.insert(x);
+            *truth.entry(x).or_insert(0) += 1;
+        }
+        for (&item, &f) in &truth {
+            prop_assert!(cm.estimate(item) >= f);
+        }
+    }
+
+    /// HeavyKeeper: the summary never exceeds k entries and estimates of
+    /// a clean (single-item) stream are never inflated.
+    #[test]
+    fn heavy_keeper_summary_bounded(stream in stream_strategy(), k in 1usize..8) {
+        let mut hk = HeavyKeeper::with_k(k, 7);
+        for &x in &stream {
+            hk.insert(x);
+        }
+        prop_assert!(hk.top_k().len() <= k);
+    }
+
+    /// Top-K Trie reports at most k strings, all non-empty substrings of
+    /// the text with counts bounded by their true frequencies.
+    #[test]
+    fn topk_trie_reports_valid_substrings(
+        text in proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c')], 1..200),
+        k in 1usize..40,
+    ) {
+        let mut tt = TopKTrie::new();
+        let out = tt.mine(&text, k);
+        prop_assert!(out.len() <= k);
+        for m in &out {
+            prop_assert!(!m.bytes.is_empty());
+            let truth = text.windows(m.bytes.len()).filter(|w| *w == &m.bytes[..]).count() as u64;
+            prop_assert!(truth >= 1, "{:?} not a substring", m.bytes);
+            prop_assert!(m.freq <= truth, "{:?}: {} > {truth}", m.bytes, m.freq);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Section VII of the paper: item-stream top-K strategies do not smoothly
+//! translate to substrings. These tests reproduce the adversarial
+//! `(AB)^{n/2}` argument quantitatively, measuring each adaptation with
+//! the paper's Accuracy metric against the exact top-K.
+
+use usi_core::metrics::evaluate;
+use usi_core::oracle::exact_top_k;
+use usi_core::{approximate_top_k, ApproxConfig, SubstringRef};
+use usi_streams::{MinedString, SubstringMiner, SubstringHk, TopKTrie};
+
+fn as_reported(mined: &[MinedString]) -> Vec<(SubstringRef, u64)> {
+    mined
+        .iter()
+        .map(|m| (SubstringRef::Owned(m.bytes.clone()), m.freq))
+        .collect()
+}
+
+fn accuracy_of(miner: &mut dyn SubstringMiner, text: &[u8], k: usize) -> f64 {
+    let (exact, sa) = exact_top_k(text, k);
+    let mined = miner.mine(text, k);
+    evaluate(text, &sa, &exact, &as_reported(&mined)).accuracy
+}
+
+#[test]
+fn adversarial_alternating_text_defeats_substring_hk() {
+    // S = (AB)^{n/2}, n/2 ≥ K > 4, K even, |Σ| = 2 — the instance from
+    // Section VII where "SubstringHK fails to report half of the output".
+    let k = 16;
+    let text = b"AB".repeat(512);
+    let acc = accuracy_of(&mut SubstringHk::with_seed(99), &text, k);
+    assert!(acc <= 0.5, "SubstringHK accuracy {acc} > 0.5 on (AB)^n/2");
+}
+
+#[test]
+fn adversarial_alternating_text_defeats_topk_trie() {
+    let k = 16;
+    let text = b"AB".repeat(512);
+    let acc = accuracy_of(&mut TopKTrie::new(), &text, k);
+    assert!(acc <= 0.5, "TopKTrie accuracy {acc} > 0.5 on (AB)^n/2");
+}
+
+#[test]
+fn approximate_top_k_handles_the_adversarial_instance() {
+    // The paper's own sampler has no trouble here: the top-K substrings
+    // occur at (almost) every position, so every sample sees them.
+    let k = 16;
+    let text = b"AB".repeat(512);
+    let (exact, sa) = exact_top_k(&text, k);
+    let res = approximate_top_k(&text, &ApproxConfig::new(k, 4));
+    let reported: Vec<(SubstringRef, u64)> = res
+        .items
+        .iter()
+        .map(|e| (SubstringRef::Witness { pos: e.witness, len: e.len }, e.freq))
+        .collect();
+    let r = evaluate(&text, &sa, &exact, &reported);
+    assert!(r.accuracy >= 0.9, "AT accuracy only {}", r.accuracy);
+    assert!(r.ndcg >= 0.99, "AT NDCG only {}", r.ndcg);
+}
+
+#[test]
+fn miners_on_highly_repetitive_text() {
+    // IOT-like regime: a periodic text whose top-K contains *long*
+    // frequent substrings (7 distinct substrings per length, so the
+    // top-70 spans lengths 1..=10). TT under-counts deep paths (nodes
+    // only count occurrences after creation) and SH rarely even offers
+    // long windows; the paper's own sampler handles the instance.
+    let text = b"abcdefg".repeat(300);
+    let k = 70;
+    let (exact, sa) = exact_top_k(&text, k);
+    let longest_exact = exact.iter().map(|t| t.len).max().unwrap();
+    assert!(longest_exact >= 9, "test premise: top-K spans 10 lengths");
+
+    let tt_out = TopKTrie::new().mine(&text, k);
+    let sh_out = SubstringHk::with_seed(7).mine(&text, k);
+    let at = approximate_top_k(&text, &ApproxConfig::new(k, 4));
+
+    let at_reported: Vec<(SubstringRef, u64)> = at
+        .items
+        .iter()
+        .map(|e| (SubstringRef::Witness { pos: e.witness, len: e.len }, e.freq))
+        .collect();
+    let at_r = evaluate(&text, &sa, &exact, &at_reported);
+    let tt_r = evaluate(&text, &sa, &exact, &as_reported(&tt_out));
+    let sh_r = evaluate(&text, &sa, &exact, &as_reported(&sh_out));
+    // Note: *all* 70 exact frequencies here lie within 300 ± 1, so the
+    // strict equal-frequency Accuracy metric churns at the boundary for
+    // any estimator; the paper-shaped claims are about ranking quality
+    // (NDCG) and covered mass (RE), where AT is near-perfect and the
+    // item-stream adaptations are not.
+    assert!(at_r.ndcg >= 0.999, "AT NDCG {}", at_r.ndcg);
+    assert!(at_r.relative_error.abs() <= 0.02, "AT RE {}", at_r.relative_error);
+    assert!(tt_r.accuracy <= 0.5, "TT accuracy {}", tt_r.accuracy);
+    assert!(sh_r.accuracy <= 0.5, "SH accuracy {}", sh_r.accuracy);
+    assert!(at_r.accuracy >= tt_r.accuracy && at_r.accuracy >= sh_r.accuracy);
+    assert!(at_r.ndcg >= tt_r.ndcg && at_r.ndcg >= sh_r.ndcg);
+}

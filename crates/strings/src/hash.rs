@@ -1,0 +1,132 @@
+//! A fast non-cryptographic hasher for fingerprint-keyed tables.
+//!
+//! The hash table `H` of the USI index maps `(length, Karp–Rabin
+//! fingerprint)` keys to utility accumulators and is probed once per query
+//! — it is the single hottest structure in the index. The standard
+//! `SipHash 1-3` hasher costs more than the entire remaining `O(m)` query
+//! for short patterns, so we use an FxHash-style multiply-xor hasher
+//! (the same family rustc uses). HashDoS resistance is irrelevant here:
+//! keys are already uniformly distributed fingerprints produced with a
+//! random base.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-xor hasher specialised for small fixed-size keys.
+///
+/// For each 8-byte word `w`: `state = (state rotl 5 ⊕ w) · SEED`, the
+/// classic FxHash mixing step.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.mix(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.mix(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.mix(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.mix(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.mix(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` with the fast hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` with the fast hasher.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<(u32, u64), f64> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert((i as u32, i.wrapping_mul(0x9e37_79b9_7f4a_7c15)), i as f64);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u64 {
+            assert_eq!(
+                m.get(&(i as u32, i.wrapping_mul(0x9e37_79b9_7f4a_7c15))),
+                Some(&(i as f64))
+            );
+        }
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(42);
+        b.write_u64(42);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn distinct_inputs_spread() {
+        // sanity: consecutive integers should not collide in the low bits
+        // the hash map actually uses.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            seen.insert(h.finish() & 0xffff_ffff);
+        }
+        assert!(seen.len() > 9_900, "too many 32-bit collisions: {}", seen.len());
+    }
+
+    #[test]
+    fn byte_slice_tail_handling() {
+        let mut a = FxHasher::default();
+        a.write(b"abcdefghi"); // 8-byte chunk + 1-byte tail
+        let mut b = FxHasher::default();
+        b.write(b"abcdefghj");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,151 @@
+//! Alphabet handling.
+//!
+//! The paper assumes an integer alphabet `Σ = [0, σ)` with `σ = n^{O(1)}`.
+//! Real inputs (DNA, XML, ad categories) arrive as bytes; [`Alphabet`]
+//! compacts the byte values that actually occur onto a dense rank space,
+//! which keeps downstream structures (SA-IS buckets, trie children) tight.
+
+/// A dense mapping between the byte values occurring in a text and the
+/// integer alphabet `[0, σ)`.
+///
+/// ```
+/// use usi_strings::Alphabet;
+/// let ab = Alphabet::from_text(b"GATTACA");
+/// assert_eq!(ab.sigma(), 4); // A, C, G, T
+/// assert_eq!(ab.rank(b'A'), Some(0));
+/// assert_eq!(ab.rank(b'T'), Some(3));
+/// assert_eq!(ab.byte(0), Some(b'A'));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alphabet {
+    /// `rank_of[b] = rank + 1`, or 0 if byte `b` does not occur.
+    rank_of: [u16; 256],
+    /// `byte_of[r]` = the byte with rank `r`, in increasing byte order.
+    byte_of: Vec<u8>,
+}
+
+impl Alphabet {
+    /// Scans `text` and builds the dense alphabet of the bytes it uses.
+    ///
+    /// Runs in `O(|text| + 256)` time.
+    pub fn from_text(text: &[u8]) -> Self {
+        let mut seen = [false; 256];
+        for &b in text {
+            seen[b as usize] = true;
+        }
+        let mut rank_of = [0u16; 256];
+        let mut byte_of = Vec::new();
+        for (b, &s) in seen.iter().enumerate() {
+            if s {
+                byte_of.push(b as u8);
+                rank_of[b] = byte_of.len() as u16; // rank + 1
+            }
+        }
+        Self { rank_of, byte_of }
+    }
+
+    /// Alphabet size `σ`.
+    #[inline]
+    pub fn sigma(&self) -> usize {
+        self.byte_of.len()
+    }
+
+    /// Rank of byte `b` in `[0, σ)`, or `None` if `b` never occurs.
+    #[inline]
+    pub fn rank(&self, b: u8) -> Option<usize> {
+        match self.rank_of[b as usize] {
+            0 => None,
+            r => Some(r as usize - 1),
+        }
+    }
+
+    /// The byte with rank `r`, or `None` if `r >= σ`.
+    #[inline]
+    pub fn byte(&self, r: usize) -> Option<u8> {
+        self.byte_of.get(r).copied()
+    }
+
+    /// Maps a text onto rank space. Bytes absent from the alphabet are an
+    /// error (returns `None`), since silently remapping would corrupt
+    /// downstream frequency counts.
+    pub fn encode(&self, text: &[u8]) -> Option<Vec<u16>> {
+        text.iter()
+            .map(|&b| match self.rank_of[b as usize] {
+                0 => None,
+                r => Some(r - 1),
+            })
+            .collect()
+    }
+
+    /// Inverse of [`Alphabet::encode`].
+    pub fn decode(&self, ranks: &[u16]) -> Option<Vec<u8>> {
+        ranks.iter().map(|&r| self.byte(r as usize)).collect()
+    }
+}
+
+/// Renders a byte string for human consumption: printable ASCII is kept,
+/// everything else becomes `\xNN`. Used by reports and examples.
+pub fn display_bytes(s: &[u8]) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &b in s {
+        if (0x20..0x7f).contains(&b) {
+            out.push(b as char);
+        } else {
+            out.push_str(&format!("\\x{b:02x}"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_text_has_empty_alphabet() {
+        let ab = Alphabet::from_text(b"");
+        assert_eq!(ab.sigma(), 0);
+        assert_eq!(ab.rank(b'x'), None);
+        assert_eq!(ab.byte(0), None);
+    }
+
+    #[test]
+    fn ranks_follow_byte_order() {
+        let ab = Alphabet::from_text(b"banana");
+        // bytes: a < b < n
+        assert_eq!(ab.rank(b'a'), Some(0));
+        assert_eq!(ab.rank(b'b'), Some(1));
+        assert_eq!(ab.rank(b'n'), Some(2));
+        assert_eq!(ab.sigma(), 3);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let text = b"mississippi";
+        let ab = Alphabet::from_text(text);
+        let enc = ab.encode(text).unwrap();
+        assert_eq!(ab.decode(&enc).unwrap(), text);
+    }
+
+    #[test]
+    fn encode_rejects_foreign_bytes() {
+        let ab = Alphabet::from_text(b"abc");
+        assert!(ab.encode(b"abd").is_none());
+    }
+
+    #[test]
+    fn full_byte_range() {
+        let text: Vec<u8> = (0..=255).collect();
+        let ab = Alphabet::from_text(&text);
+        assert_eq!(ab.sigma(), 256);
+        for b in 0..=255u8 {
+            assert_eq!(ab.rank(b), Some(b as usize));
+            assert_eq!(ab.byte(b as usize), Some(b));
+        }
+    }
+
+    #[test]
+    fn display_escapes_nonprintable() {
+        assert_eq!(display_bytes(b"ab\x00c"), "ab\\x00c");
+    }
+}

@@ -1,0 +1,309 @@
+//! The class `𝒰` of global utility functions (paper, Section III).
+//!
+//! A function `U ∈ 𝒰` satisfies two conditions:
+//!
+//! 1. `U` is linear-time computable — here: an associative aggregate
+//!    (sum, min, max, avg, count) over the local utilities of all
+//!    occurrences, see [`GlobalAggregator`];
+//! 2. the local utility function has the *sliding-window property* — here:
+//!    the windowed sum of weights, implemented in `O(1)` by [`crate::Psw`].
+//!
+//! The paper's experiments use the "sum of sums" member of the class:
+//! `U(P) = Σ_{i ∈ occ(P)} u(i, |P|)` with `u(i, ℓ) = Σ w[i..i+ℓ)`.
+
+use crate::psw::{LocalIndex, LocalWindow};
+use crate::weighted::WeightedString;
+
+/// How local utilities of the occurrences are aggregated into `U(P)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum GlobalAggregator {
+    /// `U(P) = Σ u(i, |P|)` — the paper's default ("sum of sums").
+    #[default]
+    Sum,
+    /// `U(P) = min u(i, |P|)`.
+    Min,
+    /// `U(P) = max u(i, |P|)`.
+    Max,
+    /// `U(P) = avg u(i, |P|)`.
+    Avg,
+    /// `U(P) = |occ(P)|` — plain frequency, ignores weights.
+    Count,
+}
+
+impl GlobalAggregator {
+    /// Stable wire tag for persistence.
+    pub fn to_tag(self) -> u8 {
+        match self {
+            Self::Sum => 0,
+            Self::Min => 1,
+            Self::Max => 2,
+            Self::Avg => 3,
+            Self::Count => 4,
+        }
+    }
+
+    /// Inverse of [`GlobalAggregator::to_tag`].
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        Some(match tag {
+            0 => Self::Sum,
+            1 => Self::Min,
+            2 => Self::Max,
+            3 => Self::Avg,
+            4 => Self::Count,
+            _ => return None,
+        })
+    }
+
+    /// Human-readable name, used by reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Sum => "sum",
+            Self::Min => "min",
+            Self::Max => "max",
+            Self::Avg => "avg",
+            Self::Count => "count",
+        }
+    }
+}
+
+/// Streaming accumulator for one pattern's global utility.
+///
+/// Stores `(sum, min, max, count)` so a single representation serves every
+/// aggregator; the hash table `H` persists accumulators so that the same
+/// built index can be asked for any aggregate.
+///
+/// ```
+/// use usi_strings::{GlobalAggregator, UtilityAccumulator};
+/// let mut acc = UtilityAccumulator::new();
+/// acc.add(3.0);
+/// acc.add(1.5);
+/// assert_eq!(acc.finish(GlobalAggregator::Sum), Some(4.5));
+/// assert_eq!(acc.finish(GlobalAggregator::Min), Some(1.5));
+/// assert_eq!(acc.finish(GlobalAggregator::Count), Some(2.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilityAccumulator {
+    sum: f64,
+    min: f64,
+    max: f64,
+    count: u64,
+}
+
+impl Default for UtilityAccumulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl UtilityAccumulator {
+    /// An empty accumulator (zero occurrences).
+    pub fn new() -> Self {
+        Self {
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            count: 0,
+        }
+    }
+
+    /// Folds in the local utility of one occurrence.
+    #[inline]
+    pub fn add(&mut self, local: f64) {
+        self.sum += local;
+        self.min = self.min.min(local);
+        self.max = self.max.max(local);
+        self.count += 1;
+    }
+
+    /// Merges another accumulator (used when combining per-round results).
+    pub fn merge(&mut self, other: &Self) {
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+    }
+
+    /// Number of occurrences folded in so far.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Raw parts `(sum, min, max, count)` for persistence.
+    pub fn to_raw(&self) -> (f64, f64, f64, u64) {
+        (self.sum, self.min, self.max, self.count)
+    }
+
+    /// Rebuilds an accumulator from [`UtilityAccumulator::to_raw`] parts.
+    pub fn from_raw(sum: f64, min: f64, max: f64, count: u64) -> Self {
+        Self { sum, min, max, count }
+    }
+
+    /// Extracts the aggregate. `Sum` and `Count` of zero occurrences are 0;
+    /// `Min` / `Max` / `Avg` of zero occurrences are undefined (`None`).
+    pub fn finish(&self, agg: GlobalAggregator) -> Option<f64> {
+        match agg {
+            GlobalAggregator::Sum => Some(self.sum),
+            GlobalAggregator::Count => Some(self.count as f64),
+            GlobalAggregator::Min if self.count > 0 => Some(self.min),
+            GlobalAggregator::Max if self.count > 0 => Some(self.max),
+            GlobalAggregator::Avg if self.count > 0 => Some(self.sum / self.count as f64),
+            _ => None,
+        }
+    }
+}
+
+/// A global utility function from the class `𝒰`: a sliding-window local
+/// utility ([`LocalWindow`]: windowed sum or windowed product) combined
+/// with a [`GlobalAggregator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GlobalUtility {
+    /// The outer aggregate.
+    pub aggregator: GlobalAggregator,
+    /// The inner (per-occurrence) window function.
+    pub local: LocalWindow,
+}
+
+impl GlobalUtility {
+    /// The paper's default "sum of sums" utility.
+    pub fn sum_of_sums() -> Self {
+        Self {
+            aggregator: GlobalAggregator::Sum,
+            local: LocalWindow::Sum,
+        }
+    }
+
+    /// Expected frequency (paper, Section I's bioinformatics motivation):
+    /// when `w[i]` is the probability that position `i` was read
+    /// correctly, `U(P) = Σ_occ Π w[i..i+m)` is the expected number of
+    /// correct occurrences of `P`. Requires strictly positive weights.
+    pub fn expected_frequency() -> Self {
+        Self {
+            aggregator: GlobalAggregator::Sum,
+            local: LocalWindow::Product,
+        }
+    }
+
+    /// A utility with the given outer aggregate (windowed-sum local).
+    pub fn with_aggregator(aggregator: GlobalAggregator) -> Self {
+        Self { aggregator, local: LocalWindow::Sum }
+    }
+
+    /// A utility with explicit aggregate and local window function.
+    pub fn with_parts(aggregator: GlobalAggregator, local: LocalWindow) -> Self {
+        Self { aggregator, local }
+    }
+
+    /// Reference implementation: computes `U(P)` by scanning every text
+    /// position. `O(n·m)` — used by tests and tiny examples only.
+    ///
+    /// Returns the accumulator so callers can extract any aggregate.
+    pub fn brute_force(&self, ws: &WeightedString, pattern: &[u8]) -> UtilityAccumulator {
+        let mut acc = UtilityAccumulator::new();
+        let (n, m) = (ws.len(), pattern.len());
+        if m == 0 || m > n {
+            return acc;
+        }
+        for i in 0..=(n - m) {
+            if &ws.text()[i..i + m] == pattern {
+                let local = match self.local {
+                    LocalWindow::Sum => ws.weights()[i..i + m].iter().sum(),
+                    LocalWindow::Product => ws.weights()[i..i + m].iter().product(),
+                };
+                acc.add(local);
+            }
+        }
+        acc
+    }
+
+    /// Builds the matching [`LocalIndex`] over `weights`.
+    ///
+    /// # Panics
+    /// Panics for `Product` locals if any weight is not strictly
+    /// positive (see [`LocalIndex::new`]).
+    pub fn local_index(&self, weights: &[f64]) -> LocalIndex {
+        LocalIndex::new(weights, self.local)
+    }
+
+    /// Convenience wrapper extracting the configured aggregate from
+    /// [`GlobalUtility::brute_force`].
+    pub fn brute_force_value(&self, ws: &WeightedString, pattern: &[u8]) -> Option<f64> {
+        self.brute_force(ws, pattern).finish(self.aggregator)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example1() -> WeightedString {
+        WeightedString::new(
+            b"ATACCCCGATAATACCCCAG".to_vec(),
+            vec![
+                0.9, 1.0, 3.0, 2.0, 0.7, 1.0, 1.0, 0.6, 0.5, 0.5, 0.5, 0.8, 1.0, 1.0, 1.0, 0.9,
+                1.0, 1.0, 0.8, 1.0,
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_example_1_sum_of_sums() {
+        let u = GlobalUtility::sum_of_sums();
+        let got = u.brute_force_value(&example1(), b"TACCCC").unwrap();
+        assert!((got - 14.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_aggregates_on_example_1() {
+        let ws = example1();
+        let acc = GlobalUtility::sum_of_sums().brute_force(&ws, b"TACCCC");
+        assert_eq!(acc.count(), 2);
+        assert!((acc.finish(GlobalAggregator::Min).unwrap() - 5.9).abs() < 1e-9);
+        assert!((acc.finish(GlobalAggregator::Max).unwrap() - 8.7).abs() < 1e-9);
+        assert!((acc.finish(GlobalAggregator::Avg).unwrap() - 7.3).abs() < 1e-9);
+        assert_eq!(acc.finish(GlobalAggregator::Count), Some(2.0));
+    }
+
+    #[test]
+    fn absent_pattern() {
+        let ws = example1();
+        let acc = GlobalUtility::sum_of_sums().brute_force(&ws, b"GGGG");
+        assert_eq!(acc.finish(GlobalAggregator::Sum), Some(0.0));
+        assert_eq!(acc.finish(GlobalAggregator::Count), Some(0.0));
+        assert_eq!(acc.finish(GlobalAggregator::Min), None);
+        assert_eq!(acc.finish(GlobalAggregator::Max), None);
+        assert_eq!(acc.finish(GlobalAggregator::Avg), None);
+    }
+
+    #[test]
+    fn empty_and_oversized_patterns() {
+        let ws = example1();
+        let u = GlobalUtility::sum_of_sums();
+        assert_eq!(u.brute_force(&ws, b"").count(), 0);
+        let long = vec![b'A'; ws.len() + 1];
+        assert_eq!(u.brute_force(&ws, &long).count(), 0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let mut a = UtilityAccumulator::new();
+        a.add(1.0);
+        a.add(2.0);
+        let mut b = UtilityAccumulator::new();
+        b.add(-3.0);
+        let mut merged = a;
+        merged.merge(&b);
+        let mut seq = UtilityAccumulator::new();
+        for x in [1.0, 2.0, -3.0] {
+            seq.add(x);
+        }
+        assert_eq!(merged, seq);
+    }
+
+    #[test]
+    fn aggregator_names() {
+        assert_eq!(GlobalAggregator::Sum.name(), "sum");
+        assert_eq!(GlobalAggregator::Avg.name(), "avg");
+    }
+}

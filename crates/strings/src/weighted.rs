@@ -1,0 +1,181 @@
+//! The weighted string `(S, w)`.
+
+use crate::psw::Psw;
+use crate::HeapSize;
+
+/// A text `S` of length `n` over a byte alphabet, paired with a weight
+/// function `w : [0, n) → ℝ` assigning each position a utility.
+///
+/// This is the input object of the USI problem (paper, Section III). The
+/// struct owns both arrays and enforces the single structural invariant
+/// `|S| == |w|` at construction time.
+///
+/// ```
+/// use usi_strings::WeightedString;
+/// let ws = WeightedString::new(b"ATACCCC".to_vec(), vec![0.9, 1.0, 3.0, 2.0, 0.7, 1.0, 1.0]).unwrap();
+/// assert_eq!(ws.len(), 7);
+/// assert_eq!(ws.text()[0], b'A');
+/// assert_eq!(ws.weight(2), 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedString {
+    text: Vec<u8>,
+    weights: Vec<f64>,
+}
+
+/// Error returned when the text and weight arrays disagree in length or a
+/// weight is not a finite number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightedStringError {
+    /// `|S| != |w|`.
+    LengthMismatch {
+        /// Text length.
+        text: usize,
+        /// Weights length.
+        weights: usize,
+    },
+    /// A weight was NaN or infinite, which would poison every aggregate.
+    NonFiniteWeight {
+        /// Offending position.
+        position: usize,
+    },
+}
+
+impl std::fmt::Display for WeightedStringError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::LengthMismatch { text, weights } => {
+                write!(f, "text length {text} != weights length {weights}")
+            }
+            Self::NonFiniteWeight { position } => {
+                write!(f, "non-finite weight at position {position}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WeightedStringError {}
+
+impl WeightedString {
+    /// Builds a weighted string, validating lengths and weight finiteness.
+    pub fn new(text: Vec<u8>, weights: Vec<f64>) -> Result<Self, WeightedStringError> {
+        if text.len() != weights.len() {
+            return Err(WeightedStringError::LengthMismatch {
+                text: text.len(),
+                weights: weights.len(),
+            });
+        }
+        if let Some(position) = weights.iter().position(|w| !w.is_finite()) {
+            return Err(WeightedStringError::NonFiniteWeight { position });
+        }
+        Ok(Self { text, weights })
+    }
+
+    /// Builds a weighted string assigning every position the same utility.
+    /// Handy for tests and for frequency-only workloads (`U(P) = |occ(P)|`
+    /// when all weights are zero and the aggregator is `Count`).
+    pub fn uniform(text: Vec<u8>, weight: f64) -> Self {
+        let weights = vec![weight; text.len()];
+        Self { text, weights }
+    }
+
+    /// Text length `n`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// Whether the text is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.text.is_empty()
+    }
+
+    /// The underlying text `S`.
+    #[inline]
+    pub fn text(&self) -> &[u8] {
+        &self.text
+    }
+
+    /// The weight array `w`.
+    #[inline]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// `w[i]`.
+    #[inline]
+    pub fn weight(&self, i: usize) -> f64 {
+        self.weights[i]
+    }
+
+    /// The fragment `S[i .. i + len)` (paper: `frag_S(i, len)`).
+    ///
+    /// # Panics
+    /// Panics if the fragment exceeds the text boundary.
+    #[inline]
+    pub fn fragment(&self, i: usize, len: usize) -> &[u8] {
+        &self.text[i..i + len]
+    }
+
+    /// Builds the prefix-sum-of-weights array for this string.
+    pub fn psw(&self) -> Psw {
+        Psw::new(&self.weights)
+    }
+
+    /// Consumes `self`, returning the parts.
+    pub fn into_parts(self) -> (Vec<u8>, Vec<f64>) {
+        (self.text, self.weights)
+    }
+}
+
+impl HeapSize for WeightedString {
+    fn heap_bytes(&self) -> usize {
+        self.text.heap_bytes() + self.weights.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let err = WeightedString::new(b"ab".to_vec(), vec![1.0]).unwrap_err();
+        assert_eq!(
+            err,
+            WeightedStringError::LengthMismatch { text: 2, weights: 1 }
+        );
+    }
+
+    #[test]
+    fn rejects_nan() {
+        let err = WeightedString::new(b"ab".to_vec(), vec![1.0, f64::NAN]).unwrap_err();
+        assert_eq!(err, WeightedStringError::NonFiniteWeight { position: 1 });
+    }
+
+    #[test]
+    fn uniform_fills_weights() {
+        let ws = WeightedString::uniform(b"abc".to_vec(), 0.5);
+        assert_eq!(ws.weights(), &[0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn fragment_matches_slice() {
+        let ws = WeightedString::uniform(b"abcdef".to_vec(), 1.0);
+        assert_eq!(ws.fragment(2, 3), b"cde");
+    }
+
+    #[test]
+    fn empty_string_is_fine() {
+        let ws = WeightedString::new(vec![], vec![]).unwrap();
+        assert!(ws.is_empty());
+        assert_eq!(ws.len(), 0);
+    }
+
+    #[test]
+    fn error_display_is_readable() {
+        let err = WeightedString::new(b"ab".to_vec(), vec![1.0]).unwrap_err();
+        assert!(err.to_string().contains("!="));
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for the string primitives.
+
+use proptest::prelude::*;
+use usi_strings::fingerprint::{add_mod, mul_mod, sub_mod, MODULUS};
+use usi_strings::{Fingerprinter, GlobalAggregator, GlobalUtility, Psw, WeightedString};
+
+fn small_text() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(b'd')], 0..200)
+}
+
+proptest! {
+    #[test]
+    fn modular_ops_agree_with_u128(a in 0..MODULUS, b in 0..MODULUS) {
+        prop_assert_eq!(add_mod(a, b) as u128, (a as u128 + b as u128) % MODULUS as u128);
+        prop_assert_eq!(mul_mod(a, b) as u128, (a as u128 * b as u128) % MODULUS as u128);
+        prop_assert_eq!(sub_mod(a, b) as u128,
+            (a as u128 + MODULUS as u128 - b as u128) % MODULUS as u128);
+    }
+
+    #[test]
+    fn rolling_equals_oneshot(text in small_text(), len in 1usize..16, base in 0u64..u64::MAX) {
+        prop_assume!(len <= text.len());
+        let fp = Fingerprinter::with_base(base);
+        let mut w = fp.rolling(&text, len).unwrap();
+        loop {
+            let i = w.position();
+            prop_assert_eq!(w.value(), fp.fingerprint(&text[i..i + len]));
+            if !w.slide() { break; }
+        }
+    }
+
+    #[test]
+    fn table_equals_oneshot(text in small_text(), base in 0u64..u64::MAX) {
+        let fp = Fingerprinter::with_base(base);
+        let t = fp.table(&text);
+        let n = text.len();
+        // spot-check a quadratic-free selection of substrings
+        for i in (0..n).step_by(1 + n / 16) {
+            for j in (i..=n).step_by(1 + n / 16) {
+                prop_assert_eq!(t.substring(i, j), fp.fingerprint(&text[i..j]));
+            }
+        }
+    }
+
+    #[test]
+    fn equal_substrings_equal_fingerprints(text in small_text()) {
+        // fingerprints must be a function of string content, not position
+        let fp = Fingerprinter::with_base(12345);
+        let t = fp.table(&text);
+        let n = text.len();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let max = (n - j).min(4);
+                for len in 1..=max {
+                    if text[i..i + len] == text[j..j + len] {
+                        prop_assert_eq!(t.substring(i, i + len), t.substring(j, j + len));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn psw_local_equals_naive_sum(weights in proptest::collection::vec(-100.0f64..100.0, 0..100)) {
+        let psw = Psw::new(&weights);
+        let n = weights.len();
+        for i in 0..n {
+            for len in 0..=(n - i).min(8) {
+                let naive: f64 = weights[i..i + len].iter().sum();
+                prop_assert!((psw.local(i, len) - naive).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn brute_force_count_matches_window_scan(text in small_text(), pat in proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b')], 1..4)) {
+        let ws = WeightedString::uniform(text.clone(), 1.0);
+        let acc = GlobalUtility::sum_of_sums().brute_force(&ws, &pat);
+        let expected = if pat.len() > text.len() { 0 } else {
+            text.windows(pat.len()).filter(|w| *w == &pat[..]).count()
+        };
+        prop_assert_eq!(acc.count() as usize, expected);
+        // with unit weights, sum-of-sums = count * |P|
+        prop_assert_eq!(acc.finish(GlobalAggregator::Sum), Some(expected as f64 * pat.len() as f64));
+    }
+}

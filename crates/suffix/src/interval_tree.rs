@@ -1,0 +1,248 @@
+//! Top-down lcp-interval tree search: the suffix-tree-style `O(m + occ)`
+//! pattern location the paper's query analysis assumes.
+//!
+//! [`crate::SuffixArraySearcher`] answers in `O(m log n)` by binary
+//! search; this module materialises the lcp-interval tree (the explicit
+//! suffix-tree topology over `SA`/`LCP`, after Abouelhoda, Kurtz and
+//! Ohlebusch's child-table traversal) and descends edges by first
+//! letter, giving `O(m)` matching for constant alphabets — the
+//! `bench_sa_search`/`query` ablations compare the two.
+
+use crate::esa::{lcp_intervals, LcpInterval};
+use crate::lcp::lcp_array;
+use crate::sais::suffix_array;
+use usi_strings::{FxHashMap, HeapSize};
+
+/// One node of the interval tree.
+#[derive(Debug, Clone)]
+struct Node {
+    /// The lcp-interval (depth, parent depth, SA bounds).
+    iv: LcpInterval,
+    /// Children keyed by the first letter *below this node's depth*.
+    children: FxHashMap<u8, u32>,
+}
+
+/// A searchable lcp-interval tree over a text's suffix array.
+///
+/// ```
+/// use usi_suffix::interval_tree::EsaSearcher;
+/// let text = b"banana";
+/// let searcher = EsaSearcher::new(text);
+/// let mut occ = searcher.occurrences(b"ana").to_vec();
+/// occ.sort_unstable();
+/// assert_eq!(occ, vec![1, 3]);
+/// assert!(searcher.interval(b"nab").is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EsaSearcher {
+    text: Vec<u8>,
+    sa: Vec<u32>,
+    nodes: Vec<Node>,
+    /// Children of the (virtual) root, keyed by first letter.
+    root_children: FxHashMap<u8, u32>,
+}
+
+impl EsaSearcher {
+    /// Builds SA, LCP and the interval tree. `O(n)` nodes.
+    pub fn new(text: &[u8]) -> Self {
+        let sa = suffix_array(text);
+        let lcp = lcp_array(text, &sa);
+        Self::from_parts(text.to_vec(), sa, &lcp)
+    }
+
+    /// Builds the tree from precomputed arrays (shared with an index).
+    pub fn from_parts(text: Vec<u8>, sa: Vec<u32>, lcp: &[u32]) -> Self {
+        let n = text.len();
+        let mut intervals = lcp_intervals(lcp, |i| (n - sa[i] as usize) as u32, true);
+        // Parent linking: process nodes in order of increasing depth so
+        // parents exist before children; identify a node's parent as the
+        // smallest enclosing interval with depth == node.parent_depth.
+        // Sorting by (lb, -depth) gives a preorder where each node's
+        // parent is the nearest previous node enclosing it.
+        intervals.sort_unstable_by(|a, b| {
+            a.lb.cmp(&b.lb).then(b.rb.cmp(&a.rb)).then(a.depth.cmp(&b.depth))
+        });
+        let mut nodes: Vec<Node> = intervals
+            .iter()
+            .map(|&iv| Node { iv, children: FxHashMap::default() })
+            .collect();
+        let mut root_children: FxHashMap<u8, u32> = FxHashMap::default();
+        // Stack of enclosing intervals (indices into `nodes`).
+        let mut stack: Vec<u32> = Vec::new();
+        for i in 0..nodes.len() {
+            let iv = nodes[i].iv;
+            while let Some(&top) = stack.last() {
+                let t = nodes[top as usize].iv;
+                if t.lb <= iv.lb && iv.rb <= t.rb && !(t.lb == iv.lb && t.rb == iv.rb) {
+                    break; // strictly enclosing → parent candidate
+                }
+                if t.lb == iv.lb && t.rb == iv.rb && t.depth < iv.depth {
+                    break; // same interval, shallower depth → parent
+                }
+                stack.pop();
+            }
+            // The branching letter: the letter of the child's path at the
+            // parent's depth.
+            let parent_depth = iv.parent_depth as usize;
+            let first_pos = sa[iv.lb as usize] as usize + parent_depth;
+            debug_assert!(first_pos < n, "edge letter out of bounds");
+            let letter = text[first_pos];
+            match stack.last() {
+                Some(&p) => {
+                    nodes[p as usize].children.insert(letter, i as u32);
+                }
+                None => {
+                    root_children.insert(letter, i as u32);
+                }
+            }
+            stack.push(i as u32);
+        }
+        Self { text, sa, nodes, root_children }
+    }
+
+    /// The suffix array.
+    pub fn suffix_array(&self) -> &[u32] {
+        &self.sa
+    }
+
+    /// Number of tree nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// SA interval (half-open ranks) of suffixes prefixed by `pattern`,
+    /// by top-down descent: `O(m)` expected for hash-map children.
+    pub fn interval(&self, pattern: &[u8]) -> Option<std::ops::Range<usize>> {
+        if pattern.is_empty() {
+            return if self.sa.is_empty() { None } else { Some(0..self.sa.len()) };
+        }
+        let mut matched = 0usize; // pattern letters confirmed
+        let mut node: Option<u32> = None;
+        loop {
+            let children = match node {
+                None => &self.root_children,
+                Some(v) => &self.nodes[v as usize].children,
+            };
+            let &child = children.get(&pattern[matched])?;
+            let iv = self.nodes[child as usize].iv;
+            // verify the edge letters (parent_depth..depth) against the
+            // pattern, up to the pattern end
+            let start = self.sa[iv.lb as usize] as usize;
+            let edge_end = (iv.depth as usize).min(pattern.len());
+            let from = iv.parent_depth as usize;
+            if self.text[start + from..start + edge_end] != pattern[from..edge_end] {
+                return None;
+            }
+            matched = edge_end;
+            if matched == pattern.len() {
+                return Some(iv.lb as usize..iv.rb as usize + 1);
+            }
+            node = Some(child);
+        }
+    }
+
+    /// All starting positions of `pattern` (unsorted, SA order).
+    pub fn occurrences(&self, pattern: &[u8]) -> &[u32] {
+        match self.interval(pattern) {
+            Some(r) => &self.sa[r],
+            None => &[],
+        }
+    }
+
+    /// Number of occurrences.
+    pub fn count(&self, pattern: &[u8]) -> usize {
+        self.interval(pattern).map_or(0, |r| r.len())
+    }
+}
+
+impl HeapSize for EsaSearcher {
+    fn heap_bytes(&self) -> usize {
+        self.text.heap_bytes()
+            + self.sa.heap_bytes()
+            + self.nodes.capacity() * std::mem::size_of::<Node>()
+            + self
+                .nodes
+                .iter()
+                .map(|nd| nd.children.capacity() * (std::mem::size_of::<(u8, u32)>() + 1))
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::occurrences_naive;
+    use crate::search::SuffixArraySearcher;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn check(text: &[u8], pattern: &[u8]) {
+        let esa = EsaSearcher::new(text);
+        let mut got: Vec<u32> = esa.occurrences(pattern).to_vec();
+        got.sort_unstable();
+        assert_eq!(got, occurrences_naive(text, pattern), "{text:?} / {pattern:?}");
+        // agrees with the binary-search searcher
+        let sa = crate::sais::suffix_array(text);
+        let bin = SuffixArraySearcher::new(text, &sa);
+        assert_eq!(esa.count(pattern), bin.count(pattern));
+    }
+
+    #[test]
+    fn fixtures() {
+        let text = b"abracadabra";
+        for pat in
+            [&b"a"[..], b"ab", b"abra", b"abracadabra", b"bra", b"cad", b"x", b"ra", b"raa"]
+        {
+            check(text, pat);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let esa = EsaSearcher::new(b"");
+        assert!(esa.interval(b"").is_none());
+        assert!(esa.interval(b"a").is_none());
+        let esa = EsaSearcher::new(b"x");
+        assert_eq!(esa.count(b"x"), 1);
+        assert_eq!(esa.count(b""), 1);
+        assert_eq!(esa.count(b"xx"), 0);
+    }
+
+    #[test]
+    fn unary_and_periodic() {
+        check(b"aaaaaa", b"aa");
+        check(b"aaaaaa", b"aaaaaa");
+        check(&b"ab".repeat(30), b"abab");
+        check(&b"abc".repeat(20), b"cabc");
+    }
+
+    #[test]
+    fn random_cross_check() {
+        let mut rng = StdRng::seed_from_u64(61);
+        for _ in 0..25 {
+            let n = rng.gen_range(1..250);
+            let text: Vec<u8> = (0..n).map(|_| b'a' + rng.gen_range(0..3u8)).collect();
+            let esa = EsaSearcher::new(&text);
+            let sa = crate::sais::suffix_array(&text);
+            let bin = SuffixArraySearcher::new(&text, &sa);
+            for _ in 0..30 {
+                let m = rng.gen_range(1..10usize);
+                let pat: Vec<u8> = if rng.gen_bool(0.7) && m <= text.len() {
+                    let i = rng.gen_range(0..=text.len() - m);
+                    text[i..i + m].to_vec()
+                } else {
+                    (0..m).map(|_| b'a' + rng.gen_range(0..4u8)).collect()
+                };
+                assert_eq!(esa.interval(&pat), bin.interval(&pat), "{text:?} / {pat:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn node_count_is_linear() {
+        let text: Vec<u8> = b"mississippi".repeat(50);
+        let esa = EsaSearcher::new(&text);
+        assert!(esa.num_nodes() <= 2 * text.len());
+        assert!(esa.heap_bytes() > 0);
+    }
+}

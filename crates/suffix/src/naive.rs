@@ -1,0 +1,129 @@
+//! Quadratic reference implementations.
+//!
+//! These are the ground truth the fast structures are tested against.
+//! They are exported (not `cfg(test)`) because downstream crates' tests
+//! and the experiment harness's self-checks use them too.
+
+use std::collections::HashMap;
+
+/// Suffix array by direct suffix sorting. `O(n² log n)` worst case.
+pub fn suffix_array_naive(text: &[u8]) -> Vec<u32> {
+    let mut sa: Vec<u32> = (0..text.len() as u32).collect();
+    sa.sort_by(|&a, &b| text[a as usize..].cmp(&text[b as usize..]));
+    sa
+}
+
+/// LCP array by direct comparison: `lcp[0] = 0`,
+/// `lcp[i] = |lcp(S[sa[i-1]..], S[sa[i]..])|`.
+pub fn lcp_array_naive(text: &[u8], sa: &[u32]) -> Vec<u32> {
+    let mut lcp = vec![0u32; sa.len()];
+    for i in 1..sa.len() {
+        let (a, b) = (sa[i - 1] as usize, sa[i] as usize);
+        let mut l = 0usize;
+        while a + l < text.len() && b + l < text.len() && text[a + l] == text[b + l] {
+            l += 1;
+        }
+        lcp[i] = l as u32;
+    }
+    lcp
+}
+
+/// All starting positions of `pattern` in `text`, in increasing order.
+pub fn occurrences_naive(text: &[u8], pattern: &[u8]) -> Vec<u32> {
+    if pattern.is_empty() || pattern.len() > text.len() {
+        return Vec::new();
+    }
+    text.windows(pattern.len())
+        .enumerate()
+        .filter(|(_, w)| *w == pattern)
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+/// Frequency of every distinct substring of `text`. `O(n²)` entries —
+/// only for small test inputs.
+pub fn substring_frequencies_naive(text: &[u8]) -> HashMap<Vec<u8>, u32> {
+    let mut freq = HashMap::new();
+    let n = text.len();
+    for i in 0..n {
+        for j in (i + 1)..=n {
+            *freq.entry(text[i..j].to_vec()).or_insert(0u32) += 1;
+        }
+    }
+    freq
+}
+
+/// The exact top-`k` most frequent substrings, ties broken by
+/// (frequency desc, length asc, lexicographic) for determinism. Returns
+/// `(substring, frequency)` pairs. Only for small test inputs.
+pub fn top_k_naive(text: &[u8], k: usize) -> Vec<(Vec<u8>, u32)> {
+    let mut all: Vec<(Vec<u8>, u32)> = substring_frequencies_naive(text).into_iter().collect();
+    all.sort_by(|a, b| {
+        b.1.cmp(&a.1)
+            .then(a.0.len().cmp(&b.0.len()))
+            .then(a.0.cmp(&b.0))
+    });
+    all.truncate(k);
+    all
+}
+
+/// Longest common extension of the suffixes at `i` and `j` by scanning.
+pub fn lce_naive(text: &[u8], i: usize, j: usize) -> usize {
+    let n = text.len();
+    let mut l = 0;
+    while i + l < n && j + l < n && text[i + l] == text[j + l] {
+        l += 1;
+    }
+    l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banana_suffix_array() {
+        // suffixes of "banana" sorted: a, ana, anana, banana, na, nana
+        assert_eq!(suffix_array_naive(b"banana"), vec![5, 3, 1, 0, 4, 2]);
+    }
+
+    #[test]
+    fn banana_lcp() {
+        let sa = suffix_array_naive(b"banana");
+        assert_eq!(lcp_array_naive(b"banana", &sa), vec![0, 1, 3, 0, 0, 2]);
+    }
+
+    #[test]
+    fn occurrences_overlapping() {
+        assert_eq!(occurrences_naive(b"aaaa", b"aa"), vec![0, 1, 2]);
+        assert_eq!(occurrences_naive(b"abc", b"d"), Vec::<u32>::new());
+        assert_eq!(occurrences_naive(b"abc", b""), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn frequency_table_counts_every_window() {
+        let f = substring_frequencies_naive(b"abab");
+        assert_eq!(f[&b"ab"[..].to_vec()], 2);
+        assert_eq!(f[&b"aba"[..].to_vec()], 1);
+        assert_eq!(f[&b"a"[..].to_vec()], 2);
+        // distinct substrings of "abab": a, b, ab, ba, aba, bab, abab, baba? no
+        // a b ab ba aba bab abab bab? enumerate: 4+3+2+1 windows, distinct = 7
+        assert_eq!(f.len(), 7);
+    }
+
+    #[test]
+    fn top_k_ordering() {
+        let top = top_k_naive(b"abab", 3);
+        // freq 2: "a", "b", "ab" (shortest first, then lexicographic)
+        assert_eq!(top[0], (b"a".to_vec(), 2));
+        assert_eq!(top[1], (b"b".to_vec(), 2));
+        assert_eq!(top[2], (b"ab".to_vec(), 2));
+    }
+
+    #[test]
+    fn lce_scan() {
+        assert_eq!(lce_naive(b"abcabd", 0, 3), 2);
+        assert_eq!(lce_naive(b"aaaa", 0, 1), 3);
+        assert_eq!(lce_naive(b"ab", 0, 0), 2);
+    }
+}

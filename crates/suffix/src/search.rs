@@ -1,0 +1,261 @@
+//! Pattern location over the suffix array.
+//!
+//! The paper answers infrequent queries by finding `occ_S(P)` with the
+//! suffix tree in `O(m + occ)`; we locate the suffix-array interval with
+//! binary search in `O(m log n)` and read the occurrences off `SA[lb..rb]`
+//! (see DESIGN.md §3 for why this substitution is faithful). An
+//! LCP-accelerated variant is provided for the ablation bench.
+
+use std::cmp::Ordering;
+
+/// Searches patterns in a text through its suffix array.
+///
+/// ```
+/// use usi_suffix::{suffix_array, SuffixArraySearcher};
+/// let text = b"banana";
+/// let sa = suffix_array(text);
+/// let s = SuffixArraySearcher::new(text, &sa);
+/// let range = s.interval(b"ana").unwrap();
+/// let mut occ: Vec<u32> = s.occurrences(b"ana").to_vec();
+/// occ.sort_unstable();
+/// assert_eq!(occ, vec![1, 3]);
+/// assert_eq!(range.len(), 2);
+/// assert!(s.interval(b"nab").is_none());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SuffixArraySearcher<'a> {
+    text: &'a [u8],
+    sa: &'a [u32],
+}
+
+impl<'a> SuffixArraySearcher<'a> {
+    /// Wraps a text and its suffix array (borrowed; the searcher is a
+    /// lightweight view).
+    pub fn new(text: &'a [u8], sa: &'a [u32]) -> Self {
+        debug_assert_eq!(text.len(), sa.len());
+        Self { text, sa }
+    }
+
+    /// The underlying text.
+    #[inline]
+    pub fn text(&self) -> &'a [u8] {
+        self.text
+    }
+
+    /// The underlying suffix array.
+    #[inline]
+    pub fn suffix_array(&self) -> &'a [u32] {
+        self.sa
+    }
+
+    /// Compares the length-`|pattern|` prefix of the suffix at `pos`
+    /// against `pattern`; a shorter suffix that is a prefix of `pattern`
+    /// compares `Less`.
+    #[inline]
+    fn cmp_prefix(&self, pos: u32, pattern: &[u8]) -> Ordering {
+        let start = pos as usize;
+        let end = (start + pattern.len()).min(self.text.len());
+        self.text[start..end].cmp(pattern)
+    }
+
+    /// Suffix-array interval `lb..rb` (half-open ranks) of all suffixes
+    /// with `pattern` as prefix, or `None` if the pattern does not occur.
+    /// The empty pattern matches everywhere. `O(m log n)`.
+    pub fn interval(&self, pattern: &[u8]) -> Option<std::ops::Range<usize>> {
+        if pattern.is_empty() {
+            return if self.sa.is_empty() { None } else { Some(0..self.sa.len()) };
+        }
+        let lb = partition_point(self.sa.len(), |i| {
+            self.cmp_prefix(self.sa[i], pattern) == Ordering::Less
+        });
+        let rb = partition_point(self.sa.len(), |i| {
+            self.cmp_prefix(self.sa[i], pattern) != Ordering::Greater
+        });
+        if lb < rb {
+            Some(lb..rb)
+        } else {
+            None
+        }
+    }
+
+    /// The starting positions of `pattern` in the text, as the slice
+    /// `SA[lb..rb]` (unsorted: suffix-array order). Empty if absent.
+    pub fn occurrences(&self, pattern: &[u8]) -> &'a [u32] {
+        match self.interval(pattern) {
+            Some(r) => &self.sa[r],
+            None => &[],
+        }
+    }
+
+    /// Number of occurrences of `pattern`.
+    pub fn count(&self, pattern: &[u8]) -> usize {
+        self.interval(pattern).map_or(0, |r| r.len())
+    }
+
+    /// LCP-accelerated interval search: remembers how many pattern
+    /// letters already matched at both binary-search boundaries and skips
+    /// them. Examines fewer letters than [`SuffixArraySearcher::interval`]
+    /// on texts with long repeats, but its byte-at-a-time comparisons
+    /// lose to the plain search's vectorised slice compare in practice
+    /// (see the `ablation_sa_search` bench) — kept as the textbook
+    /// algorithm and for alphabets/platforms where memcmp is not
+    /// available.
+    pub fn interval_accelerated(&self, pattern: &[u8]) -> Option<std::ops::Range<usize>> {
+        if pattern.is_empty() {
+            return if self.sa.is_empty() { None } else { Some(0..self.sa.len()) };
+        }
+        let n = self.sa.len();
+        let m = pattern.len();
+
+        // Matched-prefix-length-aware comparison.
+        let cmp_from = |pos: u32, skip: usize| -> (Ordering, usize) {
+            let start = pos as usize + skip;
+            let mut k = skip;
+            while k < m && start + (k - skip) < self.text.len() {
+                match self.text[start + (k - skip)].cmp(&pattern[k]) {
+                    Ordering::Equal => k += 1,
+                    ord => return (ord, k),
+                }
+            }
+            if k == m {
+                (Ordering::Equal, k)
+            } else {
+                (Ordering::Less, k) // suffix exhausted: it is a proper prefix
+            }
+        };
+
+        // Lower bound with boundary match lengths (llcp/rlcp scheme,
+        // simplified: carry the smaller of the two boundary matches).
+        let lower = {
+            let (mut lo, mut hi) = (0usize, n);
+            let (mut mlo, mut mhi) = (0usize, 0usize);
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                let skip = mlo.min(mhi);
+                let (ord, matched) = cmp_from(self.sa[mid], skip);
+                if ord == Ordering::Less {
+                    lo = mid + 1;
+                    mlo = matched.min(m);
+                } else {
+                    hi = mid;
+                    mhi = matched.min(m);
+                }
+            }
+            lo
+        };
+        let upper = {
+            let (mut lo, mut hi) = (0usize, n);
+            let (mut mlo, mut mhi) = (0usize, 0usize);
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                let skip = mlo.min(mhi);
+                let (ord, matched) = cmp_from(self.sa[mid], skip);
+                if ord != Ordering::Greater {
+                    lo = mid + 1;
+                    mlo = matched.min(m);
+                } else {
+                    hi = mid;
+                    mhi = matched.min(m);
+                }
+            }
+            lo
+        };
+        if lower < upper {
+            Some(lower..upper)
+        } else {
+            None
+        }
+    }
+}
+
+/// `std`-style partition point over indices `0..n`.
+fn partition_point(n: usize, pred: impl Fn(usize) -> bool) -> usize {
+    let (mut lo, mut hi) = (0usize, n);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if pred(mid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::occurrences_naive;
+    use crate::sais::suffix_array;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn check_pattern(text: &[u8], pattern: &[u8]) {
+        let sa = suffix_array(text);
+        let s = SuffixArraySearcher::new(text, &sa);
+        let mut got: Vec<u32> = s.occurrences(pattern).to_vec();
+        got.sort_unstable();
+        assert_eq!(got, occurrences_naive(text, pattern), "{text:?} / {pattern:?}");
+        assert_eq!(s.interval(pattern), s.interval_accelerated(pattern));
+    }
+
+    #[test]
+    fn fixtures() {
+        let text = b"abracadabra";
+        for pat in [
+            &b"a"[..], b"ab", b"abra", b"abracadabra", b"bra", b"cad", b"d", b"x", b"abx",
+            b"raa", b"ra",
+        ] {
+            check_pattern(text, pat);
+        }
+    }
+
+    #[test]
+    fn empty_pattern_matches_all() {
+        let text = b"abc";
+        let sa = suffix_array(text);
+        let s = SuffixArraySearcher::new(text, &sa);
+        assert_eq!(s.interval(b""), Some(0..3));
+        assert_eq!(s.count(b""), 3);
+    }
+
+    #[test]
+    fn empty_text() {
+        let s = SuffixArraySearcher::new(b"", &[]);
+        assert_eq!(s.interval(b""), None);
+        assert_eq!(s.interval(b"a"), None);
+        assert_eq!(s.count(b"a"), 0);
+    }
+
+    #[test]
+    fn pattern_longer_than_text() {
+        check_pattern(b"ab", b"abc");
+    }
+
+    #[test]
+    fn overlapping_occurrences() {
+        check_pattern(b"aaaaaa", b"aa");
+        check_pattern(b"aaaaaa", b"aaa");
+    }
+
+    #[test]
+    fn random_cross_check() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..30 {
+            let n = rng.gen_range(1..200);
+            let text: Vec<u8> = (0..n).map(|_| b'a' + rng.gen_range(0..3u8)).collect();
+            for _ in 0..20 {
+                let m = rng.gen_range(1..8usize);
+                let pat: Vec<u8> = (0..m).map(|_| b'a' + rng.gen_range(0..3u8)).collect();
+                check_pattern(&text, &pat);
+            }
+            // also existing substrings
+            for _ in 0..10 {
+                let i = rng.gen_range(0..text.len());
+                let m = rng.gen_range(1..=(text.len() - i).min(10));
+                let pat = text[i..i + m].to_vec();
+                check_pattern(&text, &pat);
+            }
+        }
+    }
+}

@@ -1,0 +1,453 @@
+//! Ukkonen's online suffix tree (paper, Sections VII and X, \[39\]).
+//!
+//! The paper uses an online suffix tree in two places: as the exact
+//! `K ≥ N` solution in the streaming discussion (Section VII) and as the
+//! substrate of the dynamic-USI sketch (Section X), where letters are
+//! appended one at a time. This module implements the classic `O(n)`
+//! amortised construction with suffix links and an active point.
+//!
+//! Internally the alphabet is `u16`: bytes `0..=255` plus a reserved
+//! sentinel `256` appended by [`SuffixTree::finalize`], which turns the
+//! implicit tree into an explicit one where every text suffix is a leaf —
+//! the precondition for exact occurrence counting.
+
+use usi_strings::{FxHashMap, HeapSize};
+
+const ROOT: u32 = 0;
+/// "Grows with the text": open end of a leaf edge.
+const OPEN: u32 = u32::MAX;
+const SENTINEL: u16 = 256;
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// Start of the edge label (index into `text`) from the parent.
+    start: u32,
+    /// Exclusive end of the edge label, or [`OPEN`] for leaves.
+    end: u32,
+    /// Suffix link (only meaningful for internal nodes).
+    link: u32,
+    children: FxHashMap<u16, u32>,
+}
+
+/// An appendable suffix tree over a byte text.
+///
+/// ```
+/// use usi_suffix::SuffixTree;
+/// let mut st = SuffixTree::new();
+/// st.extend_from(b"banana");
+/// assert!(st.contains(b"nan"));
+/// assert!(!st.contains(b"nab"));
+/// st.finalize();
+/// assert_eq!(st.count(b"ana"), 2);
+/// let mut occ = st.occurrences(b"ana");
+/// occ.sort_unstable();
+/// assert_eq!(occ, vec![1, 3]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SuffixTree {
+    text: Vec<u16>,
+    nodes: Vec<Node>,
+    active_node: u32,
+    /// Index into `text` of the first letter of the active edge.
+    active_edge: usize,
+    active_len: u32,
+    remainder: u32,
+    /// Node awaiting a suffix link from the current extension.
+    need_link: u32,
+    finalized: bool,
+}
+
+impl Default for SuffixTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SuffixTree {
+    /// An empty tree.
+    pub fn new() -> Self {
+        let root = Node {
+            start: 0,
+            end: 0,
+            link: ROOT,
+            children: FxHashMap::default(),
+        };
+        Self {
+            text: Vec::new(),
+            nodes: vec![root],
+            active_node: ROOT,
+            active_edge: 0,
+            active_len: 0,
+            remainder: 0,
+            need_link: ROOT,
+            finalized: false,
+        }
+    }
+
+    /// Builds the tree of `text` and finalizes it.
+    pub fn from_text(text: &[u8]) -> Self {
+        let mut st = Self::new();
+        st.extend_from(text);
+        st.finalize();
+        st
+    }
+
+    /// Length of the (byte) text inserted so far, excluding the sentinel.
+    pub fn len(&self) -> usize {
+        self.text.len() - usize::from(self.finalized)
+    }
+
+    /// Whether no byte has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of tree nodes (root, internal, leaves).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether [`SuffixTree::finalize`] has run.
+    pub fn is_finalized(&self) -> bool {
+        self.finalized
+    }
+
+    /// Appends one byte. Amortised `O(1)` (for constant alphabets).
+    ///
+    /// # Panics
+    /// Panics if the tree was already finalized.
+    pub fn push(&mut self, b: u8) {
+        assert!(!self.finalized, "cannot append to a finalized suffix tree");
+        self.push_symbol(b as u16);
+    }
+
+    /// Appends a byte slice.
+    pub fn extend_from(&mut self, text: &[u8]) {
+        for &b in text {
+            self.push(b);
+        }
+    }
+
+    /// Appends the sentinel, making every suffix an explicit leaf.
+    /// Idempotent. Required before [`SuffixTree::count`] /
+    /// [`SuffixTree::occurrences`].
+    pub fn finalize(&mut self) {
+        if !self.finalized {
+            self.push_symbol(SENTINEL);
+            self.finalized = true;
+        }
+    }
+
+    #[inline]
+    fn edge_len(&self, v: u32) -> u32 {
+        let n = &self.nodes[v as usize];
+        let end = if n.end == OPEN {
+            self.text.len() as u32
+        } else {
+            n.end
+        };
+        end - n.start
+    }
+
+    fn new_node(&mut self, start: u32, end: u32) -> u32 {
+        self.nodes.push(Node {
+            start,
+            end,
+            link: ROOT,
+            children: FxHashMap::default(),
+        });
+        (self.nodes.len() - 1) as u32
+    }
+
+    #[inline]
+    fn add_suffix_link(&mut self, node: u32) {
+        if self.need_link != ROOT {
+            self.nodes[self.need_link as usize].link = node;
+        }
+        self.need_link = node;
+    }
+
+    /// Ukkonen extension for the symbol at position `text.len() − 1`.
+    fn push_symbol(&mut self, sym: u16) {
+        self.text.push(sym);
+        let pos = self.text.len() - 1;
+        self.need_link = ROOT;
+        self.remainder += 1;
+        while self.remainder > 0 {
+            if self.active_len == 0 {
+                self.active_edge = pos;
+            }
+            let edge_first = self.text[self.active_edge];
+            let next = self.nodes[self.active_node as usize]
+                .children
+                .get(&edge_first)
+                .copied();
+            match next {
+                None => {
+                    let leaf = self.new_node(pos as u32, OPEN);
+                    self.nodes[self.active_node as usize]
+                        .children
+                        .insert(edge_first, leaf);
+                    let an = self.active_node;
+                    self.add_suffix_link(an);
+                }
+                Some(next) => {
+                    // Walk down if the active length spans the whole edge.
+                    let el = self.edge_len(next);
+                    if self.active_len >= el {
+                        self.active_edge += el as usize;
+                        self.active_len -= el;
+                        self.active_node = next;
+                        continue;
+                    }
+                    let mid = self.nodes[next as usize].start + self.active_len;
+                    if self.text[mid as usize] == sym {
+                        // Rule 3: the symbol is already on the edge.
+                        self.active_len += 1;
+                        let an = self.active_node;
+                        self.add_suffix_link(an);
+                        break;
+                    }
+                    // Split the edge.
+                    let split_start = self.nodes[next as usize].start;
+                    let split = self.new_node(split_start, mid);
+                    self.nodes[self.active_node as usize]
+                        .children
+                        .insert(edge_first, split);
+                    let leaf = self.new_node(pos as u32, OPEN);
+                    self.nodes[split as usize].children.insert(sym, leaf);
+                    self.nodes[next as usize].start = mid;
+                    let next_first = self.text[mid as usize];
+                    self.nodes[split as usize].children.insert(next_first, next);
+                    self.add_suffix_link(split);
+                }
+            }
+            self.remainder -= 1;
+            if self.active_node == ROOT && self.active_len > 0 {
+                self.active_len -= 1;
+                self.active_edge = pos - self.remainder as usize + 1;
+            } else if self.active_node != ROOT {
+                self.active_node = self.nodes[self.active_node as usize].link;
+            }
+        }
+    }
+
+    /// Walks `pattern` from the root; returns the node whose subtree
+    /// contains all suffixes prefixed by `pattern` (its "locus"), or
+    /// `None` if `pattern` is not a substring.
+    fn locate(&self, pattern: &[u8]) -> Option<u32> {
+        let mut v = ROOT;
+        let mut i = 0usize; // matched pattern letters
+        while i < pattern.len() {
+            let sym = pattern[i] as u16;
+            let &child = self.nodes[v as usize].children.get(&sym)?;
+            let el = self.edge_len(child) as usize;
+            let start = self.nodes[child as usize].start as usize;
+            let take = el.min(pattern.len() - i);
+            for k in 0..take {
+                if self.text[start + k] != pattern[i + k] as u16 {
+                    return None;
+                }
+            }
+            i += take;
+            v = child;
+        }
+        Some(v)
+    }
+
+    /// Whether `pattern` occurs in the inserted text. Works on implicit
+    /// (non-finalized) trees too. `O(m)` for constant alphabets.
+    pub fn contains(&self, pattern: &[u8]) -> bool {
+        if pattern.is_empty() {
+            return true;
+        }
+        self.locate(pattern).is_some()
+    }
+
+    /// Number of occurrences of `pattern`.
+    ///
+    /// # Panics
+    /// Panics if the tree is not finalized.
+    pub fn count(&self, pattern: &[u8]) -> usize {
+        self.occurrences(pattern).len()
+    }
+
+    /// Starting positions of `pattern` (unsorted).
+    ///
+    /// # Panics
+    /// Panics if the tree is not finalized.
+    pub fn occurrences(&self, pattern: &[u8]) -> Vec<u32> {
+        assert!(self.finalized, "finalize() before counting occurrences");
+        let n = self.len();
+        if pattern.is_empty() || pattern.len() > n {
+            return Vec::new();
+        }
+        let Some(locus) = self.locate(pattern) else {
+            return Vec::new();
+        };
+        // Depth of the locus top: matched letters up to the locus node are
+        // not needed; each leaf's suffix start = total_len − leaf_depth.
+        let total = self.text.len();
+        let mut out = Vec::new();
+        // Iterative DFS carrying the string depth *above* each node.
+        let mut stack = vec![(locus, self.depth_above(locus))];
+        while let Some((v, above)) = stack.pop() {
+            let depth = above + self.edge_len(v) as usize;
+            let node = &self.nodes[v as usize];
+            if node.children.is_empty() {
+                let start = total - depth;
+                if start < n {
+                    out.push(start as u32);
+                }
+            } else {
+                for &c in node.children.values() {
+                    stack.push((c, depth));
+                }
+            }
+        }
+        out
+    }
+
+    /// String depth of the path from the root to the *parent side* of
+    /// `v`'s edge, computed by re-walking from the root (`O(depth)`;
+    /// only used once per query).
+    fn depth_above(&self, target: u32) -> usize {
+        if target == ROOT {
+            return 0;
+        }
+        // Re-derive by DFS; the tree has no parent pointers. `above` is
+        // the string depth of the path ending at v's parent, so v's own
+        // depth is `above + edge_len(v)`, which is exactly the depth
+        // above any child of v.
+        let mut stack = vec![(ROOT, 0usize)];
+        while let Some((v, above)) = stack.pop() {
+            let depth = above + self.edge_len(v) as usize;
+            for &c in self.nodes[v as usize].children.values() {
+                if c == target {
+                    return depth;
+                }
+                stack.push((c, depth));
+            }
+        }
+        unreachable!("node {target} not reachable from root");
+    }
+}
+
+impl HeapSize for SuffixTree {
+    fn heap_bytes(&self) -> usize {
+        let node_bytes: usize = self
+            .nodes
+            .iter()
+            .map(|n| {
+                std::mem::size_of::<Node>()
+                    + n.children.capacity() * (std::mem::size_of::<(u16, u32)>() + 1)
+            })
+            .sum();
+        self.text.heap_bytes() + node_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::occurrences_naive;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn check_counts(text: &[u8]) {
+        let st = SuffixTree::from_text(text);
+        // all substrings up to length 6 plus some absent patterns
+        let n = text.len();
+        for i in 0..n {
+            for len in 1..=(n - i).min(6) {
+                let pat = &text[i..i + len];
+                let mut got = st.occurrences(pat);
+                got.sort_unstable();
+                assert_eq!(got, occurrences_naive(text, pat), "{text:?} / {pat:?}");
+            }
+        }
+        assert!(!st.contains(b"\xff\xfe\xfd"));
+    }
+
+    #[test]
+    fn fixtures() {
+        check_counts(b"banana");
+        check_counts(b"mississippi");
+        check_counts(b"aaaa");
+        check_counts(b"abcabx");
+        check_counts(b"a");
+        check_counts(b"ab");
+    }
+
+    #[test]
+    fn contains_before_finalize() {
+        let mut st = SuffixTree::new();
+        st.extend_from(b"abcab");
+        assert!(st.contains(b"abc"));
+        assert!(st.contains(b"bcab"));
+        assert!(st.contains(b"b"));
+        assert!(!st.contains(b"abca_"));
+        assert!(!st.is_finalized());
+    }
+
+    #[test]
+    fn online_appends_match_batch() {
+        let text = b"abracadabra";
+        let mut online = SuffixTree::new();
+        for &b in text.iter() {
+            online.push(b);
+        }
+        online.finalize();
+        let batch = SuffixTree::from_text(text);
+        for i in 0..text.len() {
+            for len in 1..=(text.len() - i).min(5) {
+                let pat = &text[i..i + len];
+                assert_eq!(online.count(pat), batch.count(pat));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finalize")]
+    fn count_requires_finalize() {
+        let mut st = SuffixTree::new();
+        st.extend_from(b"ab");
+        st.count(b"a");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot append")]
+    fn push_after_finalize_panics() {
+        let mut st = SuffixTree::from_text(b"ab");
+        st.push(b'c');
+    }
+
+    #[test]
+    fn random_texts() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..15 {
+            let n = rng.gen_range(1..80);
+            let text: Vec<u8> = (0..n).map(|_| b'a' + rng.gen_range(0..3u8)).collect();
+            check_counts(&text);
+        }
+    }
+
+    #[test]
+    fn node_count_is_linear() {
+        let text: Vec<u8> = b"ab".repeat(200);
+        let st = SuffixTree::from_text(&text);
+        // ≤ 2n nodes for a finalized tree of length n (+ sentinel)
+        assert!(st.num_nodes() <= 2 * (text.len() + 1) + 1);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let mut st = SuffixTree::new();
+        assert!(st.is_empty());
+        assert!(st.contains(b""));
+        assert!(!st.contains(b"a"));
+        st.finalize();
+        assert_eq!(st.count(b"a"), 0);
+        assert_eq!(st.len(), 0);
+    }
+}

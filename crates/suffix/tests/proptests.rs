@@ -1,0 +1,102 @@
+//! Property-based tests for the suffix structures.
+
+use proptest::prelude::*;
+use usi_strings::Fingerprinter;
+use usi_suffix::naive::{lcp_array_naive, occurrences_naive, suffix_array_naive};
+use usi_suffix::{
+    lcp_array, lcp_intervals, sparse_suffix_array, suffix_array, EsaSearcher, FingerprintLce,
+    LceOracle, NaiveLce, RmqLce, SuffixArraySearcher, SuffixTree,
+};
+
+fn text_strategy(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c')], 0..max_len)
+}
+
+proptest! {
+    #[test]
+    fn sais_matches_naive(text in text_strategy(300)) {
+        prop_assert_eq!(suffix_array(&text), suffix_array_naive(&text));
+    }
+
+    #[test]
+    fn sais_wide_alphabet(text in proptest::collection::vec(any::<u8>(), 0..200)) {
+        prop_assert_eq!(suffix_array(&text), suffix_array_naive(&text));
+    }
+
+    #[test]
+    fn kasai_matches_naive(text in text_strategy(200)) {
+        let sa = suffix_array(&text);
+        prop_assert_eq!(lcp_array(&text, &sa), lcp_array_naive(&text, &sa));
+    }
+
+    #[test]
+    fn lce_oracles_agree(text in text_strategy(120), seed in any::<u64>()) {
+        prop_assume!(!text.is_empty());
+        let naive = NaiveLce::new(&text);
+        let fp = FingerprintLce::new(&text, Fingerprinter::with_base(seed));
+        let rmq = RmqLce::new(&text);
+        let n = text.len();
+        for i in (0..n).step_by(1 + n / 12) {
+            for j in (0..n).step_by(1 + n / 12) {
+                let want = naive.lce(i, j);
+                prop_assert_eq!(fp.lce(i, j), want);
+                prop_assert_eq!(rmq.lce(i, j), want);
+            }
+        }
+    }
+
+    #[test]
+    fn searcher_matches_naive(text in text_strategy(200), pat in text_strategy(6)) {
+        prop_assume!(!pat.is_empty());
+        let sa = suffix_array(&text);
+        let s = SuffixArraySearcher::new(&text, &sa);
+        let mut got: Vec<u32> = s.occurrences(&pat).to_vec();
+        got.sort_unstable();
+        prop_assert_eq!(got, occurrences_naive(&text, &pat));
+        prop_assert_eq!(s.interval(&pat), s.interval_accelerated(&pat));
+    }
+
+    #[test]
+    fn lcp_interval_frequencies_are_exact(text in text_strategy(60)) {
+        prop_assume!(!text.is_empty());
+        let sa = suffix_array(&text);
+        let lcp = lcp_array(&text, &sa);
+        let nodes = lcp_intervals(&lcp, |i| (text.len() - sa[i] as usize) as u32, true);
+        // Σ q(v) = number of distinct substrings; each node's frequency is
+        // the true frequency of its witness substring.
+        let freqs = usi_suffix::naive::substring_frequencies_naive(&text);
+        let covered: usize = nodes.iter().map(|n| n.q() as usize).sum();
+        prop_assert_eq!(covered, freqs.len());
+        for node in &nodes {
+            let start = sa[node.lb as usize] as usize;
+            let sub = &text[start..start + node.depth as usize];
+            prop_assert_eq!(freqs[sub], node.freq());
+        }
+    }
+
+    #[test]
+    fn sparse_sample_is_suffix_sorted(text in text_strategy(150), step in 1usize..5) {
+        prop_assume!(!text.is_empty());
+        let positions: Vec<u32> = (0..text.len()).step_by(step).map(|p| p as u32).collect();
+        let idx = sparse_suffix_array(&text, positions, &NaiveLce::new(&text));
+        for w in idx.ssa.windows(2) {
+            prop_assert!(text[w[0] as usize..] < text[w[1] as usize..]);
+        }
+    }
+
+    #[test]
+    fn suffix_tree_counts_match_naive(text in text_strategy(80), pat in text_strategy(4)) {
+        prop_assume!(!pat.is_empty());
+        let st = SuffixTree::from_text(&text);
+        prop_assert_eq!(st.count(&pat), occurrences_naive(&text, &pat).len());
+    }
+
+    #[test]
+    fn interval_tree_matches_binary_search(text in text_strategy(150), pat in text_strategy(6)) {
+        prop_assume!(!pat.is_empty() && !text.is_empty());
+        let esa = EsaSearcher::new(&text);
+        let sa = suffix_array(&text);
+        let bin = SuffixArraySearcher::new(&text, &sa);
+        prop_assert_eq!(esa.interval(&pat), bin.interval(&pat));
+    }
+}

@@ -1,0 +1,75 @@
+//! Quickstart: index a weighted string and query global utilities.
+//!
+//! Reproduces Example 1 of the paper, then shows the two query paths
+//! (hash-table hit vs text-index fallback) and the other aggregates.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use usi::prelude::*;
+
+fn main() {
+    // The paper's Example 1: S with per-position utilities w.
+    let text = b"ATACCCCGATAATACCCCAG".to_vec();
+    let weights = vec![
+        0.9, 1.0, 3.0, 2.0, 0.7, 1.0, 1.0, 0.6, 0.5, 0.5, 0.5, 0.8, 1.0, 1.0, 1.0, 0.9, 1.0,
+        1.0, 0.8, 1.0,
+    ];
+    let ws = WeightedString::new(text, weights).expect("matched lengths");
+
+    // Build USI_TOP-K: the top-8 frequent substrings get their global
+    // utilities precomputed into the fingerprint-keyed hash table.
+    let index = UsiBuilder::new().with_k(8).deterministic(42).build(ws);
+
+    // U(TACCCC) = (1+3+2+0.7+1+1) + (1+1+1+0.9+1+1) = 8.7 + 5.9 = 14.6
+    let q = index.query(b"TACCCC");
+    println!(
+        "U(TACCCC) = {:.1}  ({} occurrences, answered via {:?})",
+        q.value.unwrap(),
+        q.occurrences,
+        q.source
+    );
+    assert!((q.value.unwrap() - 14.6).abs() < 1e-9);
+
+    // Frequent patterns are served from the hash table in O(m)…
+    let hot = index.query(b"A");
+    println!(
+        "U(A)      = {:.1}  ({} occurrences, answered via {:?})",
+        hot.value.unwrap(),
+        hot.occurrences,
+        hot.source
+    );
+    assert_eq!(hot.source, QuerySource::HashTable);
+
+    // …while rare ones fall back to the suffix array + PSW.
+    let rare = index.query(b"ATACCCCGATAATACCCCAG");
+    println!(
+        "U(S)      = {:.1}  ({} occurrence, answered via {:?})",
+        rare.value.unwrap(),
+        rare.occurrences,
+        rare.source
+    );
+    assert_eq!(rare.source, QuerySource::TextIndex);
+
+    // Other members of the utility class U: min / max / avg / count of
+    // the local (windowed-sum) utilities.
+    for agg in [
+        GlobalAggregator::Min,
+        GlobalAggregator::Max,
+        GlobalAggregator::Avg,
+        GlobalAggregator::Count,
+    ] {
+        let idx = UsiBuilder::new()
+            .with_k(8)
+            .with_aggregator(agg)
+            .deterministic(42)
+            .build(index.weighted_string().clone());
+        let q = idx.query(b"TACCCC");
+        println!("{}(TACCCC) = {:?}", agg.name(), q.value);
+    }
+
+    // Absent patterns: sum over zero occurrences is 0.
+    let absent = index.query(b"GGGG");
+    assert_eq!(absent.occurrences, 0);
+    assert_eq!(absent.value, Some(0.0));
+    println!("U(GGGG)   = {:.1}  (absent pattern)", absent.value.unwrap());
+}

@@ -1,0 +1,284 @@
+//! `usi` — command-line front end for Useful String Indexing.
+//!
+//! ```text
+//! usi build <text-file> [--weights FILE | --uniform W] [--k K | --tau T]
+//!           [--approx S] [--agg sum|min|max|avg|count] [--local sum|product]
+//!           [--seed N] -o OUT.usix
+//! usi query <OUT.usix> <pattern> [<pattern>…]
+//! usi stats <OUT.usix>
+//! usi topk  <text-file> --k K [--min-len L]
+//! usi tradeoff <text-file> [--points N]
+//! ```
+//!
+//! Weights default to 1.0 per position; `--weights` reads
+//! whitespace-separated floats (one per text byte).
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::process::exit;
+use usi::core::oracle::TopKOracle;
+use usi::prelude::*;
+use usi::strings::text::display_bytes;
+use usi::strings::LocalWindow;
+
+fn die(msg: &str) -> ! {
+    eprintln!("usi: {msg}");
+    exit(2);
+}
+
+fn read_text(path: &str) -> Vec<u8> {
+    let mut buf = Vec::new();
+    File::open(path)
+        .unwrap_or_else(|e| die(&format!("cannot open {path}: {e}")))
+        .read_to_end(&mut buf)
+        .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    // drop one trailing newline so `echo text > file` works naturally
+    if buf.last() == Some(&b'\n') {
+        buf.pop();
+    }
+    buf
+}
+
+fn read_weights(path: &str, n: usize) -> Vec<f64> {
+    let mut s = String::new();
+    File::open(path)
+        .unwrap_or_else(|e| die(&format!("cannot open {path}: {e}")))
+        .read_to_string(&mut s)
+        .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    let weights: Vec<f64> = s
+        .split_whitespace()
+        .map(|t| t.parse().unwrap_or_else(|_| die(&format!("bad weight {t:?}"))))
+        .collect();
+    if weights.len() != n {
+        die(&format!("{} weights for a {n}-byte text", weights.len()));
+    }
+    weights
+}
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Self {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            if let Some(name) = raw[i].strip_prefix("--") {
+                let value = raw.get(i + 1).filter(|v| !v.starts_with("--")).cloned();
+                if value.is_some() {
+                    i += 1;
+                }
+                flags.push((name.to_string(), value));
+            } else if raw[i] == "-o" {
+                let value = raw.get(i + 1).cloned();
+                i += 1;
+                flags.push(("out".into(), value));
+            } else {
+                positional.push(raw[i].clone());
+            }
+            i += 1;
+        }
+        Self { positional, flags }
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    #[allow(dead_code)]
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+}
+
+fn parse_agg(s: &str) -> GlobalAggregator {
+    match s {
+        "sum" => GlobalAggregator::Sum,
+        "min" => GlobalAggregator::Min,
+        "max" => GlobalAggregator::Max,
+        "avg" => GlobalAggregator::Avg,
+        "count" => GlobalAggregator::Count,
+        other => die(&format!("unknown aggregator {other}")),
+    }
+}
+
+fn cmd_build(args: &Args) {
+    let [text_path] = &args.positional[..] else {
+        die("build expects exactly one text file");
+    };
+    let text = read_text(text_path);
+    let n = text.len();
+    let weights = match (args.flag("weights"), args.flag("uniform")) {
+        (Some(path), None) => read_weights(path, n),
+        (None, Some(w)) => vec![w.parse().unwrap_or_else(|_| die("bad --uniform")); n],
+        (None, None) => vec![1.0; n],
+        _ => die("--weights and --uniform are mutually exclusive"),
+    };
+    let ws = WeightedString::new(text, weights).unwrap_or_else(|e| die(&e.to_string()));
+
+    let mut builder = UsiBuilder::new();
+    match (args.flag("k"), args.flag("tau")) {
+        (Some(k), None) => builder = builder.with_k(k.parse().unwrap_or_else(|_| die("bad --k"))),
+        (None, Some(t)) => {
+            builder = builder.with_tau(t.parse().unwrap_or_else(|_| die("bad --tau")))
+        }
+        (None, None) => {}
+        _ => die("--k and --tau are mutually exclusive"),
+    }
+    if let Some(s) = args.flag("approx") {
+        builder = builder.with_strategy(TopKStrategy::Approximate {
+            rounds: s.parse().unwrap_or_else(|_| die("bad --approx")),
+            lce: LceBackend::Naive,
+        });
+    }
+    if let Some(agg) = args.flag("agg") {
+        builder = builder.with_aggregator(parse_agg(agg));
+    }
+    if let Some(local) = args.flag("local") {
+        builder = builder.with_local_window(match local {
+            "sum" => LocalWindow::Sum,
+            "product" => LocalWindow::Product,
+            other => die(&format!("unknown local window {other}")),
+        });
+    }
+    builder = builder.deterministic(
+        args.flag("seed")
+            .map(|s| s.parse().unwrap_or_else(|_| die("bad --seed")))
+            .unwrap_or(0xbeef),
+    );
+
+    let out_path = args.flag("out").unwrap_or_else(|| die("build requires -o OUT"));
+    let index = builder.build(ws);
+    let stats = index.stats();
+    eprintln!(
+        "built: n = {}, cached = {}, tau = {:?}, lengths = {}, construction = {:.2?}",
+        stats.n,
+        stats.k_stored,
+        stats.tau,
+        stats.distinct_lengths,
+        stats.total_time()
+    );
+    let mut out = BufWriter::new(
+        File::create(out_path).unwrap_or_else(|e| die(&format!("cannot create output: {e}"))),
+    );
+    index
+        .write_to(&mut out)
+        .unwrap_or_else(|e| die(&format!("write failed: {e}")));
+    out.flush().unwrap_or_else(|e| die(&format!("flush failed: {e}")));
+    eprintln!("wrote {out_path}");
+}
+
+fn load_index(path: &str) -> UsiIndex {
+    let mut input = BufReader::new(
+        File::open(path).unwrap_or_else(|e| die(&format!("cannot open {path}: {e}"))),
+    );
+    UsiIndex::read_from(&mut input).unwrap_or_else(|e| die(&format!("load failed: {e}")))
+}
+
+fn cmd_query(args: &Args) {
+    if args.positional.len() < 2 {
+        die("query expects an index file and at least one pattern");
+    }
+    let index = load_index(&args.positional[0]);
+    let agg = index.utility().aggregator;
+    for pattern in &args.positional[1..] {
+        let q = index.query(pattern.as_bytes());
+        println!(
+            "{}\t{}\t{}\t{}",
+            pattern,
+            q.occurrences,
+            q.value.map_or("n/a".into(), |v| format!("{v}")),
+            match q.source {
+                QuerySource::HashTable => "cached",
+                QuerySource::TextIndex => "computed",
+            }
+        );
+    }
+    eprintln!("aggregator: {}", agg.name());
+}
+
+fn cmd_stats(args: &Args) {
+    let [path] = &args.positional[..] else {
+        die("stats expects exactly one index file");
+    };
+    let index = load_index(path);
+    let size = index.size_breakdown();
+    println!("n\t{}", index.text().len());
+    println!("cached substrings\t{}", index.cached_substrings());
+    println!("tau\t{:?}", index.stats().tau);
+    println!("aggregator\t{}", index.utility().aggregator.name());
+    println!("text bytes\t{}", size.text);
+    println!("weight bytes\t{}", size.weights);
+    println!("suffix array bytes\t{}", size.suffix_array);
+    println!("psw bytes\t{}", size.psw);
+    println!("hash table bytes\t{}", size.hash_table);
+    println!("total bytes\t{}", size.total());
+}
+
+fn cmd_topk(args: &Args) {
+    let [path] = &args.positional[..] else {
+        die("topk expects exactly one text file");
+    };
+    let text = read_text(path);
+    let k: usize = args
+        .flag("k")
+        .unwrap_or_else(|| die("topk requires --k"))
+        .parse()
+        .unwrap_or_else(|_| die("bad --k"));
+    let min_len: u32 = args.flag("min-len").map_or(1, |s| {
+        s.parse().unwrap_or_else(|_| die("bad --min-len"))
+    });
+    let (oracle, sa) = TopKOracle::from_text(&text);
+    let mut emitted = 0usize;
+    'outer: for e in oracle.entries() {
+        let lo = (e.parent_depth + 1).max(min_len);
+        for len in lo..=e.depth {
+            if emitted == k {
+                break 'outer;
+            }
+            let pos = sa[e.lb as usize] as usize;
+            let sub = &text[pos..pos + len as usize];
+            println!("{}\t{}", e.freq, display_bytes(&sub[..sub.len().min(60)]));
+            emitted += 1;
+        }
+    }
+}
+
+fn cmd_tradeoff(args: &Args) {
+    let [path] = &args.positional[..] else {
+        die("tradeoff expects exactly one text file");
+    };
+    let text = read_text(path);
+    let points: usize = args.flag("points").map_or(20, |s| {
+        s.parse().unwrap_or_else(|_| die("bad --points"))
+    });
+    let (oracle, _) = TopKOracle::from_text(&text);
+    let curve = oracle.tradeoff_curve();
+    let step = (curve.len() / points.max(1)).max(1);
+    println!("tau\tK\tL");
+    for p in curve.iter().step_by(step) {
+        println!("{}\t{}\t{}", p.tau, p.k, p.distinct_lengths);
+    }
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = raw.first().cloned() else {
+        die("usage: usi <build|query|stats|topk|tradeoff> …");
+    };
+    let args = Args::parse(&raw[1..]);
+    match command.as_str() {
+        "build" => cmd_build(&args),
+        "query" => cmd_query(&args),
+        "stats" => cmd_stats(&args),
+        "topk" => cmd_topk(&args),
+        "tradeoff" => cmd_tradeoff(&args),
+        other => die(&format!("unknown command {other}")),
+    }
+}

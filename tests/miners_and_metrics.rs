@@ -1,0 +1,113 @@
+//! Cross-crate miner comparisons: the paper's effectiveness ordering
+//! (ET exact, AT close, TT/SH far) on the synthetic corpora.
+
+use usi::core::metrics::{estimates_as_reported, evaluate};
+use usi::core::{approximate_top_k, exact_top_k, ApproxConfig, SubstringRef};
+use usi::datasets::{Dataset, ALL_DATASETS};
+use usi::streams::{SubstringHk, SubstringMiner, TopKTrie};
+
+#[test]
+fn at_dominates_streaming_adaptations_on_every_dataset() {
+    for ds in ALL_DATASETS {
+        let ws = ds.generate(12_000, 111);
+        let text = ws.text();
+        let k = 60;
+        let (exact, sa) = exact_top_k(text, k);
+
+        let at = approximate_top_k(text, &ApproxConfig::new(k, ds.spec().default_s.min(8)));
+        let at_score = evaluate(text, &sa, &exact, &estimates_as_reported(&at.items));
+
+        let tt_out = TopKTrie::new().mine(text, k);
+        let tt_reported: Vec<(SubstringRef, u64)> = tt_out
+            .into_iter()
+            .map(|m| (SubstringRef::Owned(m.bytes), m.freq))
+            .collect();
+        let tt_score = evaluate(text, &sa, &exact, &tt_reported);
+
+        let sh_out = SubstringHk::with_seed(113).mine(text, k);
+        let sh_reported: Vec<(SubstringRef, u64)> = sh_out
+            .into_iter()
+            .map(|m| (SubstringRef::Owned(m.bytes), m.freq))
+            .collect();
+        let sh_score = evaluate(text, &sa, &exact, &sh_reported);
+
+        let name = ds.spec().name;
+        assert!(
+            at_score.ndcg >= tt_score.ndcg && at_score.ndcg >= sh_score.ndcg,
+            "{name}: AT NDCG {} vs TT {} vs SH {}",
+            at_score.ndcg,
+            tt_score.ndcg,
+            sh_score.ndcg
+        );
+        assert!(
+            at_score.accuracy >= tt_score.accuracy,
+            "{name}: AT accuracy {} < TT {}",
+            at_score.accuracy,
+            tt_score.accuracy
+        );
+        assert!(
+            at_score.relative_error <= tt_score.relative_error + 1e-9,
+            "{name}: AT RE {} vs TT {}",
+            at_score.relative_error,
+            tt_score.relative_error
+        );
+    }
+}
+
+#[test]
+fn at_single_round_is_exact_on_every_dataset() {
+    for ds in ALL_DATASETS {
+        let ws = ds.generate(6_000, 121);
+        let k = 40;
+        let (exact, sa) = exact_top_k(ws.text(), k);
+        let at = approximate_top_k(ws.text(), &ApproxConfig::new(k, 1));
+        let score = evaluate(ws.text(), &sa, &exact, &estimates_as_reported(&at.items));
+        assert_eq!(score.accuracy, 1.0, "{}", ds.spec().name);
+        assert!(score.relative_error.abs() < 1e-12);
+        assert!((score.ndcg - 1.0).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn at_error_is_one_sided_on_every_dataset() {
+    use usi::suffix::{suffix_array, SuffixArraySearcher};
+    for ds in ALL_DATASETS {
+        let ws = ds.generate(6_000, 131);
+        let text = ws.text();
+        let sa = suffix_array(text);
+        let searcher = SuffixArraySearcher::new(text, &sa);
+        for s in [2usize, 5] {
+            let at = approximate_top_k(text, &ApproxConfig::new(50, s));
+            for item in &at.items {
+                let true_freq = searcher.count(item.bytes(text)) as u64;
+                assert!(
+                    item.freq <= true_freq,
+                    "{}: overestimate {} > {true_freq}",
+                    ds.spec().name,
+                    item.freq
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn more_rounds_trade_accuracy_for_space() {
+    // Theorem 3: extra space O(n/s + K) shrinks with s; the tracked peak
+    // must be monotonically non-increasing (modulo small-constant noise).
+    let ds = Dataset::Hum;
+    let ws = ds.generate(40_000, 141);
+    let mut peaks = Vec::new();
+    for s in [2usize, 4, 8, 16] {
+        let at = approximate_top_k(ws.text(), &ApproxConfig::new(200, s));
+        peaks.push(at.peak_tracked_bytes);
+    }
+    assert!(
+        peaks.windows(2).all(|w| w[1] <= w[0] + w[0] / 4),
+        "peaks not shrinking: {peaks:?}"
+    );
+    assert!(
+        *peaks.last().unwrap() < peaks[0],
+        "16 rounds should use less space than 2: {peaks:?}"
+    );
+}
