@@ -18,10 +18,7 @@ pub struct Bsl2 {
 impl Bsl2 {
     /// Builds the substrate with a `k`-entry LRU cache.
     pub fn new(ws: WeightedString, utility: GlobalUtility, k: usize, seed: u64) -> Self {
-        Self {
-            backend: TextBackend::new(ws, utility, seed),
-            cache: LruCache::new(k.max(1)),
-        }
+        Self { backend: TextBackend::new(ws, utility, seed), cache: LruCache::new(k.max(1)) }
     }
 }
 

@@ -79,8 +79,7 @@ impl QueryBaseline for Bsl3 {
 
     fn index_size(&self) -> usize {
         self.backend.base_size()
-            + self.cache.capacity()
-                * (std::mem::size_of::<(Key, (u64, UtilityAccumulator))>() + 1)
+            + self.cache.capacity() * (std::mem::size_of::<(Key, (u64, UtilityAccumulator))>() + 1)
             + self.heap.len() * std::mem::size_of::<Reverse<(u64, Key)>>()
     }
 }

@@ -78,8 +78,7 @@ impl QueryBaseline for Bsl4 {
         let acc = self.backend.compute(pattern);
         if self.cache.len() < self.k {
             self.cache.insert(key, acc);
-            self.heap
-                .push(Reverse((self.sketch.estimate(sketch_item(key)), key)));
+            self.heap.push(Reverse((self.sketch.estimate(sketch_item(key)), key)));
         } else {
             let est_new = self.sketch.estimate(sketch_item(key));
             if let Some(min_key) = self.pop_min_estimate() {
@@ -123,9 +122,8 @@ mod tests {
         let ws = WeightedString::uniform(b"abcdabcd".to_vec(), 1.5);
         let u = GlobalUtility::sum_of_sums();
         let mut bsl = Bsl4::new(ws.clone(), u, 2, 10);
-        let pats: Vec<&[u8]> = vec![
-            b"a", b"b", b"c", b"d", b"ab", b"bc", b"cd", b"da", b"a", b"ab", b"abcd", b"zz",
-        ];
+        let pats: Vec<&[u8]> =
+            vec![b"a", b"b", b"c", b"d", b"ab", b"bc", b"cd", b"da", b"a", b"ab", b"abcd", b"zz"];
         for pat in pats {
             let a = bsl.query(pat);
             let want = u.brute_force(&ws, pat);

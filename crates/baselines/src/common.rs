@@ -47,13 +47,7 @@ impl TextBackend {
     pub fn new(ws: WeightedString, utility: GlobalUtility, fingerprint_seed: u64) -> Self {
         let sa = suffix_array(ws.text());
         let psw = utility.local_index(ws.weights());
-        Self {
-            ws,
-            sa,
-            psw,
-            utility,
-            fingerprinter: Fingerprinter::with_base(fingerprint_seed),
-        }
+        Self { ws, sa, psw, utility, fingerprinter: Fingerprinter::with_base(fingerprint_seed) }
     }
 
     /// The weighted string.

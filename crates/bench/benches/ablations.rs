@@ -55,10 +55,7 @@ fn bench_sa_search(c: &mut Criterion) {
     let esa = EsaSearcher::new(ws.text());
     group.bench_function("interval_tree_descent", |b| {
         b.iter(|| {
-            patterns
-                .iter()
-                .map(|p| esa.interval(p).map(|r| r.len()).unwrap_or(0))
-                .sum::<usize>()
+            patterns.iter().map(|p| esa.interval(p).map(|r| r.len()).unwrap_or(0)).sum::<usize>()
         })
     });
     group.finish();
@@ -66,9 +63,8 @@ fn bench_sa_search(c: &mut Criterion) {
 
 fn bench_hashers(c: &mut Criterion) {
     // The H table is keyed by (len, fingerprint); FxHash vs SipHash.
-    let keys: Vec<(u32, u64)> = (0..10_000u64)
-        .map(|i| (i as u32 & 63, i.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
-        .collect();
+    let keys: Vec<(u32, u64)> =
+        (0..10_000u64).map(|i| (i as u32 & 63, i.wrapping_mul(0x9e37_79b9_7f4a_7c15))).collect();
     let mut fx: FxHashMap<(u32, u64), f64> = FxHashMap::default();
     let mut sip: HashMap<(u32, u64), f64> = HashMap::new();
     for &k in &keys {
@@ -113,9 +109,8 @@ fn bench_hash_keys(c: &mut Criterion) {
     // Keying H by fingerprint only vs (length, fingerprint): the paper
     // keys by fingerprint; the pair key removes cross-length collisions
     // for free. Measures probe cost of both schemes.
-    let keys: Vec<(u32, u64)> = (0..10_000u64)
-        .map(|i| ((i % 40) as u32, i.wrapping_mul(0x2545_f491_4f6c_dd1d)))
-        .collect();
+    let keys: Vec<(u32, u64)> =
+        (0..10_000u64).map(|i| ((i % 40) as u32, i.wrapping_mul(0x2545_f491_4f6c_dd1d))).collect();
     let mut pair: FxHashMap<(u32, u64), f64> = FxHashMap::default();
     let mut fp_only: FxHashMap<u64, f64> = FxHashMap::default();
     for &(len, fp) in &keys {

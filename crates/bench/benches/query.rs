@@ -19,17 +19,13 @@ fn bench_methods_on_w1(c: &mut Criterion) {
     for method in Method::lineup(ds.spec().default_s) {
         let mut built = build_method(method, &ws, k, 3);
         let mut i = 0usize;
-        group.bench_with_input(
-            BenchmarkId::from_parameter(method.label()),
-            &(),
-            |b, _| {
-                b.iter(|| {
-                    let q = &workload.queries[i % workload.len()];
-                    i += 1;
-                    built.engine.query(q)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(method.label()), &(), |b, _| {
+            b.iter(|| {
+                let q = &workload.queries[i % workload.len()];
+                i += 1;
+                built.engine.query(q)
+            })
+        });
     }
     group.finish();
 }

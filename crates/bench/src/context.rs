@@ -76,10 +76,7 @@ impl ExperimentContext {
 /// twice the default.
 pub fn scaled_k_sweep(ctx: &ExperimentContext, ds: Dataset, n: usize) -> Vec<usize> {
     let default_k = ctx.default_k(ds, n);
-    [1usize, 2, 4, 8, 16]
-        .iter()
-        .map(|&m| (default_k * m / 8).max(5))
-        .collect()
+    [1usize, 2, 4, 8, 16].iter().map(|&m| (default_k * m / 8).max(5)).collect()
 }
 
 #[cfg(test)]

@@ -88,13 +88,7 @@ pub fn accuracy_vs_s(ctx: &ExperimentContext) -> Vec<Report> {
         for s in ctx.s_sweep(ds) {
             let run = run_miner(MinerKind::Approximate { s }, ws.text(), k, ctx.seed);
             let score = score_run(ws.text(), &sa, &exact, &run);
-            report.rowf(&[
-                &ds.spec().name,
-                &n,
-                &k,
-                &s,
-                &format!("{:.1}", score.accuracy * 100.0),
-            ]);
+            report.rowf(&[&ds.spec().name, &n, &k, &s, &format!("{:.1}", score.accuracy * 100.0)]);
         }
     }
     vec![report]

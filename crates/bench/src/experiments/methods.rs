@@ -42,14 +42,7 @@ impl Method {
 
     /// The Fig. 6 lineup with the dataset's default `s` for UAT.
     pub fn lineup(s: usize) -> [Method; 6] {
-        [
-            Method::Uet,
-            Method::Uat { s },
-            Method::Bsl1,
-            Method::Bsl2,
-            Method::Bsl3,
-            Method::Bsl4,
-        ]
+        [Method::Uet, Method::Uat { s }, Method::Bsl1, Method::Bsl2, Method::Bsl3, Method::Bsl4]
     }
 }
 
@@ -131,15 +124,11 @@ mod tests {
     #[test]
     fn all_methods_agree() {
         let ws = WeightedString::uniform(b"abcabcabd".repeat(40), 1.0);
-        let mut engines: Vec<BuiltMethod> = Method::lineup(4)
-            .into_iter()
-            .map(|m| build_method(m, &ws, 8, 3))
-            .collect();
+        let mut engines: Vec<BuiltMethod> =
+            Method::lineup(4).into_iter().map(|m| build_method(m, &ws, 8, 3)).collect();
         for pat in [&b"abc"[..], b"bca", b"abd", b"zzz", b"a"] {
-            let answers: Vec<u64> = engines
-                .iter_mut()
-                .map(|e| e.engine.query(pat).occurrences)
-                .collect();
+            let answers: Vec<u64> =
+                engines.iter_mut().map(|e| e.engine.query(pat).occurrences).collect();
             assert!(answers.windows(2).all(|w| w[0] == w[1]), "{pat:?}: {answers:?}");
         }
     }

@@ -12,12 +12,7 @@ fn fig5_datasets() -> [Dataset; 2] {
 }
 
 fn lineup(s: usize) -> [MinerKind; 4] {
-    [
-        MinerKind::Exact,
-        MinerKind::Approximate { s },
-        MinerKind::TopKTrie,
-        MinerKind::SubstringHk,
-    ]
+    [MinerKind::Exact, MinerKind::Approximate { s }, MinerKind::TopKTrie, MinerKind::SubstringHk]
 }
 
 /// Fig. 5a,b: peak tracked space vs `n`.

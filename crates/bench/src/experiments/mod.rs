@@ -25,7 +25,11 @@ pub struct Experiment {
 /// The catalogue, in paper order.
 pub fn all() -> Vec<Experiment> {
     vec![
-        Experiment { id: "table1", artifact: "Table I / Section II case study", run: tables::table1 },
+        Experiment {
+            id: "table1",
+            artifact: "Table I / Section II case study",
+            run: tables::table1,
+        },
         Experiment { id: "table2", artifact: "Table II dataset properties", run: tables::table2 },
         Experiment {
             id: "fig3-accuracy-k",

@@ -127,11 +127,8 @@ pub fn size_vs_n(ctx: &ExperimentContext) -> Vec<Report> {
         let full = ctx.generate(ds);
         let s = ctx.default_s(ds);
         for n in ctx.n_sweep(ds) {
-            let ws = WeightedString::new(
-                full.text()[..n].to_vec(),
-                full.weights()[..n].to_vec(),
-            )
-            .expect("prefix slicing preserves lengths");
+            let ws = WeightedString::new(full.text()[..n].to_vec(), full.weights()[..n].to_vec())
+                .expect("prefix slicing preserves lengths");
             let k = ctx.default_k(ds, n);
             let mut cells = vec![ds.spec().name.to_string(), n.to_string(), k.to_string()];
             for method in Method::lineup(s) {
@@ -183,11 +180,8 @@ pub fn build_vs_n(ctx: &ExperimentContext) -> Vec<Report> {
         let full = ctx.generate(ds);
         let s = ctx.default_s(ds);
         for n in ctx.n_sweep(ds) {
-            let ws = WeightedString::new(
-                full.text()[..n].to_vec(),
-                full.weights()[..n].to_vec(),
-            )
-            .expect("prefix slicing preserves lengths");
+            let ws = WeightedString::new(full.text()[..n].to_vec(), full.weights()[..n].to_vec())
+                .expect("prefix slicing preserves lengths");
             let k = ctx.default_k(ds, n);
             let mut cells = vec![ds.spec().name.to_string(), n.to_string(), k.to_string()];
             for method in Method::lineup(s) {

@@ -18,11 +18,7 @@ pub fn run(ctx: &ExperimentContext) -> Vec<Report> {
         "Section VII: (AB)^{n/2}, K = 16 — SubstringHK and Top-K Trie lose ≥ half the output",
         &["miner", "reported", "exact-with-exact-freq", "accuracy %", "NDCG"],
     );
-    for kind in [
-        MinerKind::Approximate { s: 4 },
-        MinerKind::TopKTrie,
-        MinerKind::SubstringHk,
-    ] {
+    for kind in [MinerKind::Approximate { s: 4 }, MinerKind::TopKTrie, MinerKind::SubstringHk] {
         let run = run_miner(kind, &text, k, ctx.seed);
         let score = score_run(&text, &sa, &exact, &run);
         let exact_hits = (score.accuracy * k as f64).round() as usize;

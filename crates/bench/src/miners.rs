@@ -64,21 +64,13 @@ pub fn run_miner(kind: MinerKind, text: &[u8], k: usize, seed: u64) -> MinerRun 
             let reported = items
                 .iter()
                 .map(|t| {
-                    (
-                        SubstringRef::Witness { pos: sa[t.lb as usize], len: t.len },
-                        t.freq() as u64,
-                    )
+                    (SubstringRef::Witness { pos: sa[t.lb as usize], len: t.len }, t.freq() as u64)
                 })
                 .collect();
             MinerRun { kind, reported, runtime, peak_bytes }
         }
         MinerKind::Approximate { s } => {
-            let cfg = ApproxConfig {
-                k,
-                rounds: s,
-                lce: LceBackend::Naive,
-                fingerprint_base: seed,
-            };
+            let cfg = ApproxConfig { k, rounds: s, lce: LceBackend::Naive, fingerprint_base: seed };
             let res = approximate_top_k(text, &cfg);
             let runtime = start.elapsed();
             let reported = res
@@ -92,20 +84,16 @@ pub fn run_miner(kind: MinerKind, text: &[u8], k: usize, seed: u64) -> MinerRun 
             let mut tt = TopKTrie::new();
             let mined = tt.mine(text, k);
             let runtime = start.elapsed();
-            let reported = mined
-                .into_iter()
-                .map(|m| (SubstringRef::Owned(m.bytes), m.freq))
-                .collect();
+            let reported =
+                mined.into_iter().map(|m| (SubstringRef::Owned(m.bytes), m.freq)).collect();
             MinerRun { kind, reported, runtime, peak_bytes: tt.state_bytes() }
         }
         MinerKind::SubstringHk => {
             let mut sh = SubstringHk::with_seed(seed);
             let mined = sh.mine(text, k);
             let runtime = start.elapsed();
-            let reported = mined
-                .into_iter()
-                .map(|m| (SubstringRef::Owned(m.bytes), m.freq))
-                .collect();
+            let reported =
+                mined.into_iter().map(|m| (SubstringRef::Owned(m.bytes), m.freq)).collect();
             MinerRun { kind, reported, runtime, peak_bytes: sh.state_bytes() }
         }
     }

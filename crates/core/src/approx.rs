@@ -43,12 +43,7 @@ pub struct ApproxConfig {
 impl ApproxConfig {
     /// A configuration with the given `k` and `s`, naive LCE.
     pub fn new(k: usize, rounds: usize) -> Self {
-        Self {
-            k,
-            rounds,
-            lce: LceBackend::Naive,
-            fingerprint_base: 0x5eed_cafe,
-        }
+        Self { k, rounds, lce: LceBackend::Naive, fingerprint_base: 0x5eed_cafe }
     }
 
     /// Selects an LCE backend.
@@ -158,10 +153,7 @@ fn cmp_substrings(
     b: &TopKEstimate,
 ) -> std::cmp::Ordering {
     let (wa, wb) = (a.witness as usize, b.witness as usize);
-    let common = oracle
-        .lce(wa, wb)
-        .min(a.len as usize)
-        .min(b.len as usize);
+    let common = oracle.lce(wa, wb).min(a.len as usize).min(b.len as usize);
     if common < a.len as usize && common < b.len as usize {
         text[wa + common].cmp(&text[wb + common])
     } else {
@@ -195,10 +187,7 @@ fn merge_top_k(
         merged.push(item);
     }
     merged.sort_unstable_by(|a, b| {
-        b.freq
-            .cmp(&a.freq)
-            .then(a.len.cmp(&b.len))
-            .then(a.witness.cmp(&b.witness))
+        b.freq.cmp(&a.freq).then(a.len.cmp(&b.len)).then(a.witness.cmp(&b.witness))
     });
     merged.truncate(k);
     merged
@@ -220,15 +209,10 @@ mod tests {
                 let (exact, sa) = exact_top_k(text, k);
                 assert_eq!(approx.items.len(), exact.len());
                 // same substrings with same frequencies (as sets)
-                let mut got: Vec<(Vec<u8>, u64)> = approx
-                    .items
-                    .iter()
-                    .map(|e| (e.bytes(text).to_vec(), e.freq))
-                    .collect();
-                let mut want: Vec<(Vec<u8>, u64)> = exact
-                    .iter()
-                    .map(|t| (t.bytes(text, &sa).to_vec(), t.freq() as u64))
-                    .collect();
+                let mut got: Vec<(Vec<u8>, u64)> =
+                    approx.items.iter().map(|e| (e.bytes(text).to_vec(), e.freq)).collect();
+                let mut want: Vec<(Vec<u8>, u64)> =
+                    exact.iter().map(|t| (t.bytes(text, &sa).to_vec(), t.freq() as u64)).collect();
                 got.sort();
                 want.sort();
                 // frequency multisets must agree even if tie-broken differently
@@ -318,11 +302,8 @@ mod tests {
         let (exact, _) = exact_top_k(&text, k);
         let tau = exact.iter().map(|t| t.freq()).min().unwrap() as u64;
         // most reported items should have their exact frequency
-        let exact_hits = res
-            .items
-            .iter()
-            .filter(|e| truth[&e.bytes(&text).to_vec()] as u64 == e.freq)
-            .count();
+        let exact_hits =
+            res.items.iter().filter(|e| truth[&e.bytes(&text).to_vec()] as u64 == e.freq).count();
         assert!(exact_hits * 2 >= k, "only {exact_hits}/{k} exact (tau={tau})");
     }
 }

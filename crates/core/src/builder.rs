@@ -159,19 +159,14 @@ impl UsiBuilder {
         let k = match self.size {
             SizeParam::K(k) => k,
             SizeParam::Default => (n / 100).max(1),
-            SizeParam::Tau(tau) => oracle
-                .as_ref()
-                .expect("oracle built for tau resolution")
-                .tune_for_tau(tau)
-                .k as usize,
+            SizeParam::Tau(tau) => {
+                oracle.as_ref().expect("oracle built for tau resolution").tune_for_tau(tau).k
+                    as usize
+            }
         };
 
         // Phase (i): mine the top-K frequent substrings.
-        let mut stats = BuildStats {
-            n,
-            k_requested: k,
-            ..BuildStats::default()
-        };
+        let mut stats = BuildStats { n, k_requested: k, ..BuildStats::default() };
         let mined = match self.strategy {
             TopKStrategy::Exact => {
                 let oracle = oracle.as_ref().expect("oracle built for exact strategy");
@@ -196,14 +191,16 @@ impl UsiBuilder {
         // Phase (ii): populate H with one sliding-window pass per length.
         let t2 = Instant::now();
         let (h, distinct_lengths) = match &mined {
-            Mined::Triplets(items) if self.threads > 1 => UsiIndex::populate_from_triplets_parallel(
-                ws.text(),
-                &sa,
-                &psw,
-                &fingerprinter,
-                items,
-                self.threads,
-            ),
+            Mined::Triplets(items) if self.threads > 1 => {
+                UsiIndex::populate_from_triplets_parallel(
+                    ws.text(),
+                    &sa,
+                    &psw,
+                    &fingerprinter,
+                    items,
+                    self.threads,
+                )
+            }
             Mined::Triplets(items) => {
                 UsiIndex::populate_from_triplets(ws.text(), &sa, &psw, &fingerprinter, items)
             }
@@ -246,10 +243,9 @@ mod tests {
             let got = index.query(pat);
             assert_eq!(got.occurrences, want.count(), "pattern {pat:?}");
             match (got.value, want.finish(u.aggregator)) {
-                (Some(a), Some(b)) => assert!(
-                    (a - b).abs() < 1e-6 * (1.0 + b.abs()),
-                    "pattern {pat:?}: {a} vs {b}"
-                ),
+                (Some(a), Some(b)) => {
+                    assert!((a - b).abs() < 1e-6 * (1.0 + b.abs()), "pattern {pat:?}: {a} vs {b}")
+                }
                 (a, b) => assert_eq!(a, b, "pattern {pat:?}"),
             }
         }
@@ -368,11 +364,7 @@ mod tests {
     fn parallel_phase2_equals_sequential() {
         let ws = random_ws(9, 600, 3);
         let seq = UsiBuilder::new().with_k(60).deterministic(19).build(ws.clone());
-        let par = UsiBuilder::new()
-            .with_k(60)
-            .with_threads(4)
-            .deterministic(19)
-            .build(ws.clone());
+        let par = UsiBuilder::new().with_k(60).with_threads(4).deterministic(19).build(ws.clone());
         assert_eq!(seq.cached_substrings(), par.cached_substrings());
         for pat in all_short_substrings(ws.text(), 5) {
             let a = seq.query(&pat);

@@ -29,8 +29,8 @@
 use crate::topk::{TopKEstimate, TopKSubstring};
 use std::time::Duration;
 use usi_strings::{
-    Fingerprinter, FxHashMap, FxHashSet, GlobalUtility, HeapSize, LocalIndex,
-    UtilityAccumulator, WeightedString,
+    Fingerprinter, FxHashMap, FxHashSet, GlobalUtility, HeapSize, LocalIndex, UtilityAccumulator,
+    WeightedString,
 };
 use usi_suffix::SuffixArraySearcher;
 
@@ -207,11 +207,7 @@ impl UsiIndex {
     /// `O(m log n + occ)` with `occ ≤ τ_K` for exact-built indexes.
     pub fn query(&self, pattern: &[u8]) -> UsiQuery {
         let (acc, source) = self.query_accumulator(pattern);
-        UsiQuery {
-            value: acc.finish(self.utility.aggregator),
-            occurrences: acc.count(),
-            source,
-        }
+        UsiQuery { value: acc.finish(self.utility.aggregator), occurrences: acc.count(), source }
     }
 
     /// Like [`UsiIndex::query`], but returns the raw accumulator so
@@ -279,9 +275,7 @@ impl UsiIndex {
             loop {
                 let i = window.position();
                 if bits[i / 64] >> (i % 64) & 1 == 1 {
-                    h.entry((len, window.value()))
-                        .or_default()
-                        .add(psw.local(i, len as usize));
+                    h.entry((len, window.value())).or_default().add(psw.local(i, len as usize));
                 }
                 if !window.slide() {
                     break;
@@ -323,8 +317,7 @@ impl UsiIndex {
             let handles: Vec<_> = (0..threads.min(num_lengths))
                 .map(|t| {
                     scope.spawn(move || {
-                        let mut shard: FxHashMap<HKey, UtilityAccumulator> =
-                            FxHashMap::default();
+                        let mut shard: FxHashMap<HKey, UtilityAccumulator> = FxHashMap::default();
                         let mut bits = vec![0u64; n.div_ceil(64)];
                         // strided assignment balances short and long lengths
                         for &len in lengths.iter().skip(t).step_by(threads.min(num_lengths)) {
@@ -335,8 +328,7 @@ impl UsiIndex {
                                     bits[p / 64] |= 1 << (p % 64);
                                 }
                             }
-                            let Some(mut window) = fingerprinter.rolling(text, len as usize)
-                            else {
+                            let Some(mut window) = fingerprinter.rolling(text, len as usize) else {
                                 continue;
                             };
                             loop {
@@ -401,9 +393,7 @@ impl UsiIndex {
             loop {
                 let fp = window.value();
                 if set.contains(&fp) {
-                    h.entry((len, fp))
-                        .or_default()
-                        .add(psw.local(window.position(), len as usize));
+                    h.entry((len, fp)).or_default().add(psw.local(window.position(), len as usize));
                 }
                 if !window.slide() {
                     break;

@@ -62,10 +62,7 @@ pub fn evaluate(
     }
 
     // Accuracy.
-    let hits = items
-        .iter()
-        .filter(|(_, est, truth)| est == truth && *truth >= tau)
-        .count();
+    let hits = items.iter().filter(|(_, est, truth)| est == truth && *truth >= tau).count();
     let accuracy = hits as f64 / k as f64;
 
     // Relative error over true frequency mass.
@@ -86,11 +83,8 @@ pub fn evaluate(
         .sum();
     let mut ideal_gains: Vec<u64> = exact.iter().map(|t| t.freq() as u64).collect();
     ideal_gains.sort_unstable_by(|a, b| b.cmp(a));
-    let idcg: f64 = ideal_gains
-        .iter()
-        .enumerate()
-        .map(|(i, &g)| g as f64 / ((i + 2) as f64).log2())
-        .sum();
+    let idcg: f64 =
+        ideal_gains.iter().enumerate().map(|(i, &g)| g as f64 / ((i + 2) as f64).log2()).sum();
     let ndcg = if idcg == 0.0 { 1.0 } else { (dcg / idcg).min(1.0) };
 
     EffectivenessReport { accuracy, relative_error, ndcg }
@@ -99,10 +93,7 @@ pub fn evaluate(
 /// Convenience: converts witness estimates into the `(SubstringRef, freq)`
 /// shape [`evaluate`] expects.
 pub fn estimates_as_reported(items: &[crate::topk::TopKEstimate]) -> Vec<(SubstringRef, u64)> {
-    items
-        .iter()
-        .map(|e| (SubstringRef::Witness { pos: e.witness, len: e.len }, e.freq))
-        .collect()
+    items.iter().map(|e| (SubstringRef::Witness { pos: e.witness, len: e.len }, e.freq)).collect()
 }
 
 #[cfg(test)]
@@ -119,10 +110,7 @@ mod tests {
         let reported: Vec<(SubstringRef, u64)> = exact
             .iter()
             .map(|t| {
-                (
-                    SubstringRef::Witness { pos: sa[t.lb as usize], len: t.len },
-                    t.freq() as u64,
-                )
+                (SubstringRef::Witness { pos: sa[t.lb as usize], len: t.len }, t.freq() as u64)
             })
             .collect();
         let r = evaluate(text, &sa, &exact, &reported);
@@ -149,10 +137,7 @@ mod tests {
         let reported: Vec<(SubstringRef, u64)> = exact
             .iter()
             .map(|t| {
-                (
-                    SubstringRef::Witness { pos: sa[t.lb as usize], len: t.len },
-                    t.freq() as u64 - 1,
-                )
+                (SubstringRef::Witness { pos: sa[t.lb as usize], len: t.len }, t.freq() as u64 - 1)
             })
             .collect();
         let r = evaluate(text, &sa, &exact, &reported);
@@ -192,10 +177,7 @@ mod tests {
         let as_witness: Vec<(SubstringRef, u64)> = exact
             .iter()
             .map(|t| {
-                (
-                    SubstringRef::Witness { pos: sa[t.lb as usize], len: t.len },
-                    t.freq() as u64,
-                )
+                (SubstringRef::Witness { pos: sa[t.lb as usize], len: t.len }, t.freq() as u64)
             })
             .collect();
         let as_owned: Vec<(SubstringRef, u64)> = exact

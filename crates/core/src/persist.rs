@@ -24,9 +24,7 @@
 
 use crate::index::{BuildStats, UsiIndex};
 use std::io::{self, Read, Write};
-use usi_strings::{
-    Fingerprinter, FxHashMap, GlobalUtility, UtilityAccumulator, WeightedString,
-};
+use usi_strings::{Fingerprinter, FxHashMap, GlobalUtility, UtilityAccumulator, WeightedString};
 
 const MAGIC: [u8; 8] = *b"USIX\x01\x00\x00\x00";
 
@@ -208,29 +206,13 @@ impl UsiIndex {
         let ws = WeightedString::new(text, weights)
             .map_err(|_| PersistError::Corrupt("weighted string"))?;
         let utility = GlobalUtility::with_parts(aggregator, local);
-        if local == usi_strings::LocalWindow::Product
-            && ws.weights().iter().any(|&w| w <= 0.0)
-        {
+        if local == usi_strings::LocalWindow::Product && ws.weights().iter().any(|&w| w <= 0.0) {
             return Err(PersistError::Corrupt("non-positive weight for product local"));
         }
         let psw = utility.local_index(ws.weights());
-        let stats = BuildStats {
-            n,
-            k_requested,
-            k_stored,
-            tau,
-            distinct_lengths,
-            ..BuildStats::default()
-        };
-        Ok(UsiIndex::from_parts(
-            ws,
-            sa,
-            psw,
-            fingerprinter,
-            utility,
-            h,
-            stats,
-        ))
+        let stats =
+            BuildStats { n, k_requested, k_stored, tau, distinct_lengths, ..BuildStats::default() };
+        Ok(UsiIndex::from_parts(ws, sa, psw, fingerprinter, utility, h, stats))
     }
 }
 
@@ -278,10 +260,7 @@ mod tests {
         let mut buf = Vec::new();
         sample_index().write_to(&mut buf).unwrap();
         buf[0] = b'X';
-        assert!(matches!(
-            UsiIndex::read_from(&mut buf.as_slice()),
-            Err(PersistError::BadMagic)
-        ));
+        assert!(matches!(UsiIndex::read_from(&mut buf.as_slice()), Err(PersistError::BadMagic)));
     }
 
     #[test]
@@ -290,10 +269,7 @@ mod tests {
         sample_index().write_to(&mut buf).unwrap();
         for cut in [8usize, 20, buf.len() / 2, buf.len() - 3] {
             let short = buf[..cut].to_vec();
-            assert!(
-                UsiIndex::read_from(&mut &short[..]).is_err(),
-                "cut at {cut} accepted"
-            );
+            assert!(UsiIndex::read_from(&mut &short[..]).is_err(), "cut at {cut} accepted");
         }
     }
 

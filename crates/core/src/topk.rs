@@ -38,11 +38,7 @@ impl TopKSubstring {
 
     /// Witness form (first occurrence in SA order).
     pub fn to_estimate(&self, sa: &[u32]) -> TopKEstimate {
-        TopKEstimate {
-            witness: sa[self.lb as usize],
-            len: self.len,
-            freq: self.freq() as u64,
-        }
+        TopKEstimate { witness: sa[self.lb as usize], len: self.len, freq: self.freq() as u64 }
     }
 }
 

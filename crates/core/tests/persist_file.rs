@@ -1,0 +1,91 @@
+//! On-disk round-trip for the `USIX` format: the in-memory tests in
+//! `persist.rs` exercise `write_to`/`read_from` through byte buffers;
+//! these go through a real temporary `.usix` file, the way the CLI and
+//! any service deployment will use the format.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::PathBuf;
+use usi_core::{UsiBuilder, UsiIndex};
+use usi_strings::WeightedString;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("usi-persist-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn build_index(seed: u64) -> (UsiIndex, WeightedString) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let alphabet = b"acgt";
+    let text: Vec<u8> = (0..2_000).map(|_| alphabet[rng.gen_range(0..4)]).collect();
+    let weights: Vec<f64> = (0..text.len()).map(|_| rng.gen_range(0.0..2.0)).collect();
+    let ws = WeightedString::new(text, weights).unwrap();
+    let index = UsiBuilder::new().with_k(200).deterministic(seed).build(ws.clone());
+    (index, ws)
+}
+
+#[test]
+fn file_roundtrip_preserves_every_answer() {
+    let (index, ws) = build_index(7);
+    let path = tmp("roundtrip.usix");
+
+    let mut out = BufWriter::new(File::create(&path).unwrap());
+    index.write_to(&mut out).unwrap();
+    drop(out);
+
+    let mut input = BufReader::new(File::open(&path).unwrap());
+    let loaded = UsiIndex::read_from(&mut input).unwrap();
+
+    assert_eq!(loaded.cached_substrings(), index.cached_substrings());
+    assert_eq!(loaded.stats().tau, index.stats().tau);
+
+    // query agreement between the reloaded and the in-memory index, on
+    // patterns both above and below the frequency threshold, plus absent
+    // and empty patterns
+    let text = ws.text();
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut patterns: Vec<Vec<u8>> = (0..200)
+        .map(|_| {
+            let len = rng.gen_range(1..12usize);
+            let start = rng.gen_range(0..text.len() - len);
+            text[start..start + len].to_vec()
+        })
+        .collect();
+    patterns.push(b"zzzzz".to_vec());
+    patterns.push(Vec::new());
+
+    for pat in &patterns {
+        let a = index.query(pat);
+        let b = loaded.query(pat);
+        assert_eq!(a.occurrences, b.occurrences, "pattern {:?}", pat);
+        assert_eq!(a.source, b.source, "pattern {:?}", pat);
+        match (a.value, b.value) {
+            (None, None) => {}
+            (Some(x), Some(y)) => {
+                assert!((x - y).abs() < 1e-12 * (1.0 + x.abs()), "pattern {:?}", pat)
+            }
+            other => panic!("value mismatch for {:?}: {:?}", pat, other),
+        }
+    }
+}
+
+#[test]
+fn file_roundtrip_twice_is_byte_identical() {
+    // write → read → write must reproduce the file byte for byte: the
+    // format has a single canonical encoding per index
+    let (index, _) = build_index(13);
+    let path = tmp("stable.usix");
+
+    let mut out = BufWriter::new(File::create(&path).unwrap());
+    index.write_to(&mut out).unwrap();
+    drop(out);
+    let first = std::fs::read(&path).unwrap();
+
+    let loaded = UsiIndex::read_from(&mut first.as_slice()).unwrap();
+    let mut second = Vec::new();
+    loaded.write_to(&mut second).unwrap();
+    assert_eq!(first, second);
+}

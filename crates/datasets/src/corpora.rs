@@ -170,9 +170,8 @@ fn iot_text(n: usize, seed: u64) -> Vec<u8> {
     let sigma = 63u8;
     let letter = |rng: &mut StdRng| b'!' + rng.gen_range(0..sigma); // '!'..='_'
     let block_len = (n / 200).clamp(16, 4096);
-    let blocks: Vec<Vec<u8>> = (0..6)
-        .map(|_| (0..block_len).map(|_| letter(&mut rng)).collect())
-        .collect();
+    let blocks: Vec<Vec<u8>> =
+        (0..6).map(|_| (0..block_len).map(|_| letter(&mut rng)).collect()).collect();
     let zipf = Zipf::new(blocks.len(), 1.3);
     let mut out = Vec::with_capacity(n + block_len);
     while out.len() < n {
@@ -230,11 +229,7 @@ fn xml_text(n: usize, seed: u64) -> Vec<u8> {
 fn dna_text(n: usize, order: usize, skew: f64, seed: u64) -> Vec<u8> {
     const ACGT: [u8; 4] = [b'A', b'C', b'G', b'T'];
     let chain = MarkovChain::new(4, order, skew, seed);
-    chain
-        .generate(n, seed ^ 0xd9a)
-        .into_iter()
-        .map(|r| ACGT[r as usize])
-        .collect()
+    chain.generate(n, seed ^ 0xd9a).into_iter().map(|r| ACGT[r as usize]).collect()
 }
 
 #[cfg(test)]

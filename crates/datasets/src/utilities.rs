@@ -8,15 +8,7 @@ use rand::{Rng, SeedableRng};
 /// high-value ad positions — a heavy-tailed mixture.
 pub fn ctr(n: usize, seed: u64) -> Vec<f64> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n)
-        .map(|_| {
-            if rng.gen_bool(0.85) {
-                0.1
-            } else {
-                rng.gen_range(10.0..120.0)
-            }
-        })
-        .collect()
+    (0..n).map(|_| if rng.gen_bool(0.85) { 0.1 } else { rng.gen_range(10.0..120.0) }).collect()
 }
 
 /// RSSI utilities normalised into `[0, 1]` (IOT): signal strength is

@@ -45,11 +45,8 @@ struct FrequentPool {
 impl FrequentPool {
     fn new(text: &[u8], oracle: &TopKOracle, sa: &[u32], k: usize) -> Self {
         let _ = text;
-        let picks = oracle
-            .top_k(k.max(1))
-            .into_iter()
-            .map(|t| (sa[t.lb as usize], t.len))
-            .collect();
+        let picks =
+            oracle.top_k(k.max(1)).into_iter().map(|t| (sa[t.lb as usize], t.len)).collect();
         Self { picks }
     }
 
@@ -59,11 +56,7 @@ impl FrequentPool {
     }
 }
 
-fn random_fragment<'t>(
-    text: &'t [u8],
-    len_range: (usize, usize),
-    rng: &mut StdRng,
-) -> &'t [u8] {
+fn random_fragment<'t>(text: &'t [u8], len_range: (usize, usize), rng: &mut StdRng) -> &'t [u8] {
     let n = text.len();
     let lo = len_range.0.clamp(1, n);
     let hi = len_range.1.clamp(lo, n);

@@ -96,10 +96,7 @@ mod tests {
             counts[z.sample(&mut rng)] += 1;
         }
         for r in 1..8 {
-            assert!(
-                counts[r - 1] as f64 > counts[r] as f64 * 0.9,
-                "rank {r}: {counts:?}"
-            );
+            assert!(counts[r - 1] as f64 > counts[r] as f64 * 0.9, "rank {r}: {counts:?}");
         }
     }
 

@@ -42,13 +42,7 @@ impl CmSketch {
             (z ^ (z >> 31)) | 1
         };
         let seeds: Vec<u64> = (0..depth).map(|_| next()).collect();
-        Self {
-            width,
-            depth,
-            table: vec![0; width * depth],
-            seeds,
-            processed: 0,
-        }
+        Self { width, depth, table: vec![0; width * depth], seeds, processed: 0 }
     }
 
     /// Sketch sized for error `ε` and failure probability `δ`.
@@ -82,10 +76,7 @@ impl CmSketch {
 
     /// Estimated count: the row minimum (never under-estimates).
     pub fn estimate(&self, item: u64) -> u64 {
-        (0..self.depth)
-            .map(|row| self.table[self.cell(row, item)])
-            .min()
-            .unwrap_or(0)
+        (0..self.depth).map(|row| self.table[self.cell(row, item)]).min().unwrap_or(0)
     }
 
     /// Total insertions.

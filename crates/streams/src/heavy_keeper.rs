@@ -153,9 +153,8 @@ impl HeavyKeeper {
             self.heap.push(Reverse((est.max(1), item)));
             return true;
         }
-        let (min_count, min_item) = self
-            .summary_min()
-            .expect("non-empty summary has a live heap entry");
+        let (min_count, min_item) =
+            self.summary_min().expect("non-empty summary has a live heap entry");
         if est > min_count {
             self.heap.pop();
             self.summary.remove(&min_item);

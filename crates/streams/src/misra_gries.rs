@@ -26,11 +26,7 @@ impl MisraGries {
     /// A summary with `k ≥ 1` counters.
     pub fn new(k: usize) -> Self {
         assert!(k >= 1, "Misra-Gries needs at least one counter");
-        Self {
-            k,
-            counters: FxHashMap::default(),
-            processed: 0,
-        }
+        Self { k, counters: FxHashMap::default(), processed: 0 }
     }
 
     /// Number of counters.

@@ -32,12 +32,7 @@ impl SpaceSaving {
     /// A summary monitoring `k ≥ 1` items.
     pub fn new(k: usize) -> Self {
         assert!(k >= 1, "SpaceSaving needs at least one counter");
-        Self {
-            k,
-            counters: FxHashMap::default(),
-            heap: BinaryHeap::new(),
-            processed: 0,
-        }
+        Self { k, counters: FxHashMap::default(), heap: BinaryHeap::new(), processed: 0 }
     }
 
     /// Number of monitored items.
@@ -79,9 +74,8 @@ impl SpaceSaving {
             return;
         }
         // Evict the minimum; the newcomer inherits min + 1 with error = min.
-        let (min_count, min_item) = self
-            .pop_true_min()
-            .expect("counters non-empty implies a live heap entry");
+        let (min_count, min_item) =
+            self.pop_true_min().expect("counters non-empty implies a live heap entry");
         self.counters.remove(&min_item);
         self.counters.insert(item, (min_count + 1, min_count));
         self.heap.push(Reverse((min_count + 1, item)));

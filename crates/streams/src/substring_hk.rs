@@ -121,8 +121,8 @@ impl SubstringMiner for SubstringHk {
             }
         }
         self.hashed_substrings = hashed;
-        self.last_state_bytes = hk.state_bytes()
-            + witness.capacity() * (std::mem::size_of::<(u64, (u32, u32))>() + 1);
+        self.last_state_bytes =
+            hk.state_bytes() + witness.capacity() * (std::mem::size_of::<(u64, (u32, u32))>() + 1);
 
         hk.top_k()
             .into_iter()

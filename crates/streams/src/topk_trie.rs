@@ -187,8 +187,7 @@ impl SubstringMiner for TopKTrie {
         items.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         items.truncate(k);
         self.last_state_bytes = st.nodes.capacity() * std::mem::size_of::<Node>()
-            + st
-                .nodes
+            + st.nodes
                 .iter()
                 .map(|nd| nd.children.capacity() * (std::mem::size_of::<(u8, u32)>() + 1))
                 .sum::<usize>();
@@ -246,10 +245,7 @@ mod tests {
         let mut tt = TopKTrie::new();
         let out = tt.mine(&text, 10_000);
         for m in &out {
-            let truth = text
-                .windows(m.bytes.len())
-                .filter(|w| *w == &m.bytes[..])
-                .count() as u64;
+            let truth = text.windows(m.bytes.len()).filter(|w| *w == &m.bytes[..]).count() as u64;
             assert!(m.freq <= truth, "{:?}: {} > {truth}", m.bytes, m.freq);
         }
     }
@@ -268,7 +264,8 @@ mod tests {
         let exact_hits = out
             .iter()
             .filter(|m| {
-                let truth = text.windows(m.bytes.len()).filter(|w| *w == &m.bytes[..]).count() as u64;
+                let truth =
+                    text.windows(m.bytes.len()).filter(|w| *w == &m.bytes[..]).count() as u64;
                 m.freq == truth && truth >= 1017
             })
             .count();

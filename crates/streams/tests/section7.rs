@@ -6,13 +6,10 @@
 use usi_core::metrics::evaluate;
 use usi_core::oracle::exact_top_k;
 use usi_core::{approximate_top_k, ApproxConfig, SubstringRef};
-use usi_streams::{MinedString, SubstringMiner, SubstringHk, TopKTrie};
+use usi_streams::{MinedString, SubstringHk, SubstringMiner, TopKTrie};
 
 fn as_reported(mined: &[MinedString]) -> Vec<(SubstringRef, u64)> {
-    mined
-        .iter()
-        .map(|m| (SubstringRef::Owned(m.bytes.clone()), m.freq))
-        .collect()
+    mined.iter().map(|m| (SubstringRef::Owned(m.bytes.clone()), m.freq)).collect()
 }
 
 fn accuracy_of(miner: &mut dyn SubstringMiner, text: &[u8], k: usize) -> f64 {

@@ -96,18 +96,14 @@ impl Fingerprinter {
     /// Draws a random base from `rng`, uniform in `[256, p − 1)` so that
     /// distinct single letters always map to distinct residues.
     pub fn new<R: Rng + ?Sized>(rng: &mut R) -> Self {
-        Self {
-            base: rng.gen_range(256..MODULUS - 1),
-        }
+        Self { base: rng.gen_range(256..MODULUS - 1) }
     }
 
     /// Deterministic constructor for reproducible builds and tests.
     ///
     /// `base` is clamped into the valid range.
     pub fn with_base(base: u64) -> Self {
-        Self {
-            base: 256 + base % (MODULUS - 257),
-        }
+        Self { base: 256 + base % (MODULUS - 257) }
     }
 
     /// The base in use.
@@ -191,14 +187,7 @@ impl<'t> RollingWindow<'t> {
         }
         let value = fp.fingerprint(&text[..len]);
         let top_pow = fp.pow(len as u64 - 1);
-        Some(Self {
-            fp,
-            text,
-            len,
-            pos: 0,
-            value,
-            top_pow,
-        })
+        Some(Self { fp, text, len, pos: 0, value, top_pow })
     }
 
     /// Start position of the current window.
@@ -293,10 +282,7 @@ impl FingerprintTable {
 
     /// Appends one letter, extending the table (dynamic USI, Section X).
     pub fn push(&mut self, b: u8) {
-        let h = add_mod(
-            mul_mod(*self.prefix.last().unwrap(), self.fp.base),
-            letter(b),
-        );
+        let h = add_mod(mul_mod(*self.prefix.last().unwrap(), self.fp.base), letter(b));
         let p = mul_mod(*self.pow.last().unwrap(), self.fp.base);
         self.prefix.push(h);
         self.pow.push(p);

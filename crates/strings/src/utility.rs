@@ -98,12 +98,7 @@ impl Default for UtilityAccumulator {
 impl UtilityAccumulator {
     /// An empty accumulator (zero occurrences).
     pub fn new() -> Self {
-        Self {
-            sum: 0.0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
-            count: 0,
-        }
+        Self { sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY, count: 0 }
     }
 
     /// Folds in the local utility of one occurrence.
@@ -167,10 +162,7 @@ pub struct GlobalUtility {
 impl GlobalUtility {
     /// The paper's default "sum of sums" utility.
     pub fn sum_of_sums() -> Self {
-        Self {
-            aggregator: GlobalAggregator::Sum,
-            local: LocalWindow::Sum,
-        }
+        Self { aggregator: GlobalAggregator::Sum, local: LocalWindow::Sum }
     }
 
     /// Expected frequency (paper, Section I's bioinformatics motivation):
@@ -178,10 +170,7 @@ impl GlobalUtility {
     /// correctly, `U(P) = Σ_occ Π w[i..i+m)` is the expected number of
     /// correct occurrences of `P`. Requires strictly positive weights.
     pub fn expected_frequency() -> Self {
-        Self {
-            aggregator: GlobalAggregator::Sum,
-            local: LocalWindow::Product,
-        }
+        Self { aggregator: GlobalAggregator::Sum, local: LocalWindow::Product }
     }
 
     /// A utility with the given outer aggregate (windowed-sum local).

@@ -142,10 +142,7 @@ mod tests {
     #[test]
     fn rejects_length_mismatch() {
         let err = WeightedString::new(b"ab".to_vec(), vec![1.0]).unwrap_err();
-        assert_eq!(
-            err,
-            WeightedStringError::LengthMismatch { text: 2, weights: 1 }
-        );
+        assert_eq!(err, WeightedStringError::LengthMismatch { text: 2, weights: 1 });
     }
 
     #[test]

@@ -82,12 +82,7 @@ pub fn lcp_intervals(
             let (top_depth, top_lb) = stack.pop().unwrap();
             let rb = (i - 1) as u32;
             let parent_depth = stack.last().unwrap().0.max(l);
-            out.push(LcpInterval {
-                depth: top_depth,
-                parent_depth,
-                lb: top_lb,
-                rb,
-            });
+            out.push(LcpInterval { depth: top_depth, parent_depth, lb: top_lb, rb });
             lb = top_lb;
         }
         if stack.last().unwrap().0 < l {
@@ -103,12 +98,7 @@ pub fn lcp_intervals(
             let parent_depth = left.max(right);
             let depth = suffix_len(i);
             if depth > parent_depth {
-                out.push(LcpInterval {
-                    depth,
-                    parent_depth,
-                    lb: i as u32,
-                    rb: i as u32,
-                });
+                out.push(LcpInterval { depth, parent_depth, lb: i as u32, rb: i as u32 });
             }
         }
     }
@@ -143,10 +133,7 @@ mod tests {
             for len in (node.parent_depth + 1)..=node.depth {
                 let start = sa[node.lb as usize] as usize;
                 let sub = &text[start..start + len as usize];
-                assert_eq!(
-                    freqs[sub], node.freq(),
-                    "substring {sub:?} freq mismatch in {text:?}"
-                );
+                assert_eq!(freqs[sub], node.freq(), "substring {sub:?} freq mismatch in {text:?}");
                 // and the SA interval contains exactly the occurrences
                 for r in node.lb..=node.rb {
                     let p = sa[r as usize] as usize;

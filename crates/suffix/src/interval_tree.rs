@@ -62,10 +62,8 @@ impl EsaSearcher {
         intervals.sort_unstable_by(|a, b| {
             a.lb.cmp(&b.lb).then(b.rb.cmp(&a.rb)).then(a.depth.cmp(&b.depth))
         });
-        let mut nodes: Vec<Node> = intervals
-            .iter()
-            .map(|&iv| Node { iv, children: FxHashMap::default() })
-            .collect();
+        let mut nodes: Vec<Node> =
+            intervals.iter().map(|&iv| Node { iv, children: FxHashMap::default() }).collect();
         let mut root_children: FxHashMap<u8, u32> = FxHashMap::default();
         // Stack of enclosing intervals (indices into `nodes`).
         let mut stack: Vec<u32> = Vec::new();
@@ -190,8 +188,7 @@ mod tests {
     #[test]
     fn fixtures() {
         let text = b"abracadabra";
-        for pat in
-            [&b"a"[..], b"ab", b"abra", b"abracadabra", b"bra", b"cad", b"x", b"ra", b"raa"]
+        for pat in [&b"a"[..], b"ab", b"abra", b"abracadabra", b"bra", b"cad", b"x", b"ra", b"raa"]
         {
             check(text, pat);
         }

@@ -101,9 +101,7 @@ pub struct FingerprintLce {
 impl FingerprintLce {
     /// Builds the `O(n)` prefix table for `text`.
     pub fn new(text: &[u8], fingerprinter: Fingerprinter) -> Self {
-        Self {
-            table: fingerprinter.table(text),
-        }
+        Self { table: fingerprinter.table(text) }
     }
 
     /// Reuses an existing prefix table (shared with the USI index).
@@ -166,11 +164,7 @@ impl RmqLce {
 
     /// Builds from precomputed SA and LCP arrays (shared with the index).
     pub fn from_parts(text_len: usize, sa: &[u32], lcp: &[u32]) -> Self {
-        Self {
-            rank: rank_array(sa),
-            rmq: SparseTableRmq::new(lcp),
-            text_len,
-        }
+        Self { rank: rank_array(sa), rmq: SparseTableRmq::new(lcp), text_len }
     }
 }
 
@@ -245,7 +239,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         for sigma in [2usize, 4] {
             for len in [10usize, 60] {
-                let text: Vec<u8> = (0..len).map(|_| b'a' + rng.gen_range(0..sigma) as u8).collect();
+                let text: Vec<u8> =
+                    (0..len).map(|_| b'a' + rng.gen_range(0..sigma) as u8).collect();
                 check_all(&text);
             }
         }
@@ -262,9 +257,6 @@ mod tests {
                 assert_eq!(oracle.compare_suffixes(text, i, j), want, "{i} {j}");
             }
         }
-        assert_eq!(
-            NaiveLce::new(text).compare_suffixes(text, 2, 2),
-            Ordering::Equal
-        );
+        assert_eq!(NaiveLce::new(text).compare_suffixes(text, 2, 2), Ordering::Equal);
     }
 }

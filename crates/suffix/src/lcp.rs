@@ -78,7 +78,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(99);
         for sigma in [2usize, 4, 26] {
             for len in [5usize, 64, 500] {
-                let text: Vec<u8> = (0..len).map(|_| b'a' + rng.gen_range(0..sigma) as u8).collect();
+                let text: Vec<u8> =
+                    (0..len).map(|_| b'a' + rng.gen_range(0..sigma) as u8).collect();
                 check(&text);
             }
         }

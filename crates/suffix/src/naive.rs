@@ -58,11 +58,7 @@ pub fn substring_frequencies_naive(text: &[u8]) -> HashMap<Vec<u8>, u32> {
 /// `(substring, frequency)` pairs. Only for small test inputs.
 pub fn top_k_naive(text: &[u8], k: usize) -> Vec<(Vec<u8>, u32)> {
     let mut all: Vec<(Vec<u8>, u32)> = substring_frequencies_naive(text).into_iter().collect();
-    all.sort_by(|a, b| {
-        b.1.cmp(&a.1)
-            .then(a.0.len().cmp(&b.0.len()))
-            .then(a.0.cmp(&b.0))
-    });
+    all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.len().cmp(&b.0.len())).then(a.0.cmp(&b.0)));
     all.truncate(k);
     all
 }

@@ -22,10 +22,7 @@ pub fn suffix_array(text: &[u8]) -> Vec<u32> {
     if text.is_empty() {
         return Vec::new();
     }
-    assert!(
-        text.len() < u32::MAX as usize - 1,
-        "texts must fit in u32 index space"
-    );
+    assert!(text.len() < u32::MAX as usize - 1, "texts must fit in u32 index space");
     // Shift the alphabet by one and append the sentinel 0.
     let mut s: Vec<u32> = Vec::with_capacity(text.len() + 1);
     s.extend(text.iter().map(|&b| b as u32 + 1));
@@ -56,10 +53,7 @@ pub fn suffix_array_ints(text: &[u32], sigma: usize) -> Vec<u32> {
         (sigma as u64) < u32::MAX as u64,
         "alphabet too large for the shifted sentinel encoding"
     );
-    assert!(
-        text.iter().all(|&c| (c as usize) < sigma),
-        "letter out of the declared alphabet"
-    );
+    assert!(text.iter().all(|&c| (c as usize) < sigma), "letter out of the declared alphabet");
     let mut s: Vec<u32> = Vec::with_capacity(text.len() + 1);
     s.extend(text.iter().map(|&c| c + 1));
     s.push(0);
@@ -168,10 +162,7 @@ fn sais(s: &[u32], sigma: usize) -> Vec<u32> {
 
     // --- reduced string over LMS positions in text order ---
     let lms_positions: Vec<u32> = (1..n).filter(|&i| is_lms(i)).map(|i| i as u32).collect();
-    let s1: Vec<u32> = lms_positions
-        .iter()
-        .map(|&p| name_of[p as usize / 2])
-        .collect();
+    let s1: Vec<u32> = lms_positions.iter().map(|&p| name_of[p as usize / 2]).collect();
 
     let sa1: Vec<u32> = if num_names == s1.len() {
         // All names distinct: the order is the inverse permutation.
@@ -275,9 +266,8 @@ mod tests {
     fn exhaustive_short_binary_strings() {
         for len in 1..=12usize {
             for bits in 0..(1u32 << len) {
-                let text: Vec<u8> = (0..len)
-                    .map(|i| if bits >> i & 1 == 1 { b'b' } else { b'a' })
-                    .collect();
+                let text: Vec<u8> =
+                    (0..len).map(|i| if bits >> i & 1 == 1 { b'b' } else { b'a' }).collect();
                 check(&text);
             }
         }

@@ -203,8 +203,17 @@ mod tests {
     fn fixtures() {
         let text = b"abracadabra";
         for pat in [
-            &b"a"[..], b"ab", b"abra", b"abracadabra", b"bra", b"cad", b"d", b"x", b"abx",
-            b"raa", b"ra",
+            &b"a"[..],
+            b"ab",
+            b"abra",
+            b"abracadabra",
+            b"bra",
+            b"cad",
+            b"d",
+            b"x",
+            b"abx",
+            b"raa",
+            b"ra",
         ] {
             check_pattern(text, pat);
         }

@@ -66,12 +66,7 @@ impl Default for SuffixTree {
 impl SuffixTree {
     /// An empty tree.
     pub fn new() -> Self {
-        let root = Node {
-            start: 0,
-            end: 0,
-            link: ROOT,
-            children: FxHashMap::default(),
-        };
+        let root = Node { start: 0, end: 0, link: ROOT, children: FxHashMap::default() };
         Self {
             text: Vec::new(),
             nodes: vec![root],
@@ -141,21 +136,12 @@ impl SuffixTree {
     #[inline]
     fn edge_len(&self, v: u32) -> u32 {
         let n = &self.nodes[v as usize];
-        let end = if n.end == OPEN {
-            self.text.len() as u32
-        } else {
-            n.end
-        };
+        let end = if n.end == OPEN { self.text.len() as u32 } else { n.end };
         end - n.start
     }
 
     fn new_node(&mut self, start: u32, end: u32) -> u32 {
-        self.nodes.push(Node {
-            start,
-            end,
-            link: ROOT,
-            children: FxHashMap::default(),
-        });
+        self.nodes.push(Node { start, end, link: ROOT, children: FxHashMap::default() });
         (self.nodes.len() - 1) as u32
     }
 
@@ -178,16 +164,11 @@ impl SuffixTree {
                 self.active_edge = pos;
             }
             let edge_first = self.text[self.active_edge];
-            let next = self.nodes[self.active_node as usize]
-                .children
-                .get(&edge_first)
-                .copied();
+            let next = self.nodes[self.active_node as usize].children.get(&edge_first).copied();
             match next {
                 None => {
                     let leaf = self.new_node(pos as u32, OPEN);
-                    self.nodes[self.active_node as usize]
-                        .children
-                        .insert(edge_first, leaf);
+                    self.nodes[self.active_node as usize].children.insert(edge_first, leaf);
                     let an = self.active_node;
                     self.add_suffix_link(an);
                 }
@@ -211,9 +192,7 @@ impl SuffixTree {
                     // Split the edge.
                     let split_start = self.nodes[next as usize].start;
                     let split = self.new_node(split_start, mid);
-                    self.nodes[self.active_node as usize]
-                        .children
-                        .insert(edge_first, split);
+                    self.nodes[self.active_node as usize].children.insert(edge_first, split);
                     let leaf = self.new_node(pos as u32, OPEN);
                     self.nodes[split as usize].children.insert(sym, leaf);
                     self.nodes[next as usize].start = mid;

@@ -36,9 +36,7 @@ fn main() {
     println!("\n6-mer quality report (average local confidence over all occurrences):");
     let mut cached_time = std::time::Duration::ZERO;
     let mut cached = 0usize;
-    for mer in [
-        &b"ACGTAC"[..], b"TTTTTT", b"GATTAC", b"CCGGCC", b"ACACAC", b"TGCATG",
-    ] {
+    for mer in [&b"ACGTAC"[..], b"TTTTTT", b"GATTAC", b"CCGGCC", b"ACACAC", b"TGCATG"] {
         let start = Instant::now();
         let q = index.query(mer);
         let dt = start.elapsed();
@@ -60,8 +58,7 @@ fn main() {
 
     // Expected-frequency check: a pattern's quality compared against the
     // genome-wide average confidence.
-    let genome_avg: f64 =
-        index.weighted_string().weights().iter().sum::<f64>() / n as f64;
+    let genome_avg: f64 = index.weighted_string().weights().iter().sum::<f64>() / n as f64;
     println!("genome-wide average confidence: {genome_avg:.3}");
 
     // Expected frequency (paper, Section I): with per-base correctness

@@ -11,8 +11,8 @@ fn main() {
     // The paper's Example 1: S with per-position utilities w.
     let text = b"ATACCCCGATAATACCCCAG".to_vec();
     let weights = vec![
-        0.9, 1.0, 3.0, 2.0, 0.7, 1.0, 1.0, 0.6, 0.5, 0.5, 0.5, 0.8, 1.0, 1.0, 1.0, 0.9, 1.0,
-        1.0, 0.8, 1.0,
+        0.9, 1.0, 3.0, 2.0, 0.7, 1.0, 1.0, 0.6, 0.5, 0.5, 0.5, 0.8, 1.0, 1.0, 1.0, 0.9, 1.0, 1.0,
+        0.8, 1.0,
     ];
     let ws = WeightedString::new(text, weights).expect("matched lengths");
 

@@ -16,10 +16,7 @@ fn main() {
     let ws = Dataset::Xml.generate(200_000, 9);
     let n = ws.len();
     let (oracle, _sa) = TopKOracle::from_text(ws.text());
-    println!(
-        "n = {n}, distinct substrings = {}",
-        oracle.total_distinct_substrings()
-    );
+    println!("n = {n}, distinct substrings = {}", oracle.total_distinct_substrings());
 
     // Task (ii): given K, predict query time (τ_K) and construction (L_K).
     println!("\nK → (τ_K, L_K): pick your size, read off query/construction cost");
@@ -45,10 +42,7 @@ fn main() {
     let index = UsiBuilder::new().with_k(k as usize).deterministic(1).build(ws);
     let stats = index.stats();
     println!("\nverification for K = {k}:");
-    println!(
-        "  predicted τ_K = {}, built index reports τ_K = {:?}",
-        predicted.tau, stats.tau
-    );
+    println!("  predicted τ_K = {}, built index reports τ_K = {:?}", predicted.tau, stats.tau);
     println!(
         "  predicted L_K = {}, built index swept {} lengths in phase (ii)",
         predicted.distinct_lengths, stats.distinct_lengths

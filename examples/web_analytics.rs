@@ -47,11 +47,8 @@ fn main() {
     let ws = click_stream(300_000, 99);
     // Pick K from the trade-off curve: spend space until τ ≤ 64.
     let (oracle, _) = TopKOracle::from_text(ws.text());
-    let point = oracle
-        .tradeoff_curve()
-        .into_iter()
-        .find(|p| p.tau <= 64)
-        .expect("curve reaches tau = 1");
+    let point =
+        oracle.tradeoff_curve().into_iter().find(|p| p.tau <= 64).expect("curve reaches tau = 1");
     println!(
         "trade-off pick: cache K = {} substrings → worst fallback τ = {}, {} lengths",
         point.k, point.tau, point.distinct_lengths

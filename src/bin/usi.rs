@@ -85,10 +85,7 @@ impl Args {
     }
 
     fn flag(&self, name: &str) -> Option<&str> {
-        self.flags
-            .iter()
-            .find(|(n, _)| n == name)
-            .and_then(|(_, v)| v.as_deref())
+        self.flags.iter().find(|(n, _)| n == name).and_then(|(_, v)| v.as_deref())
     }
 
     #[allow(dead_code)]
@@ -167,9 +164,7 @@ fn cmd_build(args: &Args) {
     let mut out = BufWriter::new(
         File::create(out_path).unwrap_or_else(|e| die(&format!("cannot create output: {e}"))),
     );
-    index
-        .write_to(&mut out)
-        .unwrap_or_else(|e| die(&format!("write failed: {e}")));
+    index.write_to(&mut out).unwrap_or_else(|e| die(&format!("write failed: {e}")));
     out.flush().unwrap_or_else(|e| die(&format!("flush failed: {e}")));
     eprintln!("wrote {out_path}");
 }
@@ -231,9 +226,8 @@ fn cmd_topk(args: &Args) {
         .unwrap_or_else(|| die("topk requires --k"))
         .parse()
         .unwrap_or_else(|_| die("bad --k"));
-    let min_len: u32 = args.flag("min-len").map_or(1, |s| {
-        s.parse().unwrap_or_else(|_| die("bad --min-len"))
-    });
+    let min_len: u32 =
+        args.flag("min-len").map_or(1, |s| s.parse().unwrap_or_else(|_| die("bad --min-len")));
     let (oracle, sa) = TopKOracle::from_text(&text);
     let mut emitted = 0usize;
     'outer: for e in oracle.entries() {
@@ -255,9 +249,8 @@ fn cmd_tradeoff(args: &Args) {
         die("tradeoff expects exactly one text file");
     };
     let text = read_text(path);
-    let points: usize = args.flag("points").map_or(20, |s| {
-        s.parse().unwrap_or_else(|_| die("bad --points"))
-    });
+    let points: usize =
+        args.flag("points").map_or(20, |s| s.parse().unwrap_or_else(|_| die("bad --points")));
     let (oracle, _) = TopKOracle::from_text(&text);
     let curve = oracle.tradeoff_curve();
     let step = (curve.len() / points.max(1)).max(1);

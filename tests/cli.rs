@@ -38,10 +38,7 @@ fn build_query_roundtrip() {
         .unwrap();
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
 
-    let out = usi()
-        .args(["query", index_path.to_str().unwrap(), "abra", "zzz"])
-        .output()
-        .unwrap();
+    let out = usi().args(["query", index_path.to_str().unwrap(), "abra", "zzz"]).output().unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8(out.stdout).unwrap();
     let lines: Vec<&str> = stdout.lines().collect();
@@ -56,10 +53,7 @@ fn build_with_weights_file() {
     let text_path = tmp("t2.txt");
     std::fs::File::create(&text_path).unwrap().write_all(b"abab").unwrap();
     let weights_path = tmp("t2.weights");
-    std::fs::File::create(&weights_path)
-        .unwrap()
-        .write_all(b"1.0 2.0 3.0 4.0")
-        .unwrap();
+    std::fs::File::create(&weights_path).unwrap().write_all(b"1.0 2.0 3.0 4.0").unwrap();
     let index_path = tmp("t2.usix");
     let out = usi()
         .args([
@@ -77,24 +71,15 @@ fn build_with_weights_file() {
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
 
     // "ab" occurs at 0 (1+2=3) and 2 (3+4=7): U = 10
-    let out = usi()
-        .args(["query", index_path.to_str().unwrap(), "ab"])
-        .output()
-        .unwrap();
+    let out = usi().args(["query", index_path.to_str().unwrap(), "ab"]).output().unwrap();
     let stdout = String::from_utf8(out.stdout).unwrap();
-    assert_eq!(
-        stdout.trim().split('\t').collect::<Vec<_>>()[..3],
-        ["ab", "2", "10"]
-    );
+    assert_eq!(stdout.trim().split('\t').collect::<Vec<_>>()[..3], ["ab", "2", "10"]);
 }
 
 #[test]
 fn stats_and_topk_and_tradeoff() {
     let text_path = tmp("t3.txt");
-    std::fs::File::create(&text_path)
-        .unwrap()
-        .write_all(&b"banana".repeat(20))
-        .unwrap();
+    std::fs::File::create(&text_path).unwrap().write_all(&b"banana".repeat(20)).unwrap();
     let index_path = tmp("t3.usix");
     assert!(usi()
         .args([
@@ -114,19 +99,14 @@ fn stats_and_topk_and_tradeoff() {
     assert!(stdout.contains("n\t120"));
     assert!(stdout.contains("cached substrings"));
 
-    let out = usi()
-        .args(["topk", text_path.to_str().unwrap(), "--k", "3"])
-        .output()
-        .unwrap();
+    let out = usi().args(["topk", text_path.to_str().unwrap(), "--k", "3"]).output().unwrap();
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert_eq!(stdout.lines().count(), 3);
     // most frequent single letters of banana^20: a (60), n (40), b (20)
     assert!(stdout.lines().next().unwrap().starts_with("60\ta"));
 
-    let out = usi()
-        .args(["tradeoff", text_path.to_str().unwrap(), "--points", "4"])
-        .output()
-        .unwrap();
+    let out =
+        usi().args(["tradeoff", text_path.to_str().unwrap(), "--points", "4"]).output().unwrap();
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.lines().next().unwrap().contains("tau"));
     assert!(stdout.lines().count() >= 2);
@@ -136,21 +116,14 @@ fn stats_and_topk_and_tradeoff() {
 fn bad_usage_exits_nonzero() {
     assert!(!usi().args(["frobnicate"]).status().unwrap().success());
     assert!(!usi().args(["build"]).status().unwrap().success());
-    assert!(!usi()
-        .args(["query", "/nonexistent/file.usix", "a"])
-        .status()
-        .unwrap()
-        .success());
+    assert!(!usi().args(["query", "/nonexistent/file.usix", "a"]).status().unwrap().success());
 }
 
 #[test]
 fn corrupted_index_rejected() {
     let bogus = tmp("bogus.usix");
     std::fs::File::create(&bogus).unwrap().write_all(b"not an index").unwrap();
-    let out = usi()
-        .args(["query", bogus.to_str().unwrap(), "a"])
-        .output()
-        .unwrap();
+    let out = usi().args(["query", bogus.to_str().unwrap(), "a"]).output().unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("load failed"));
 }

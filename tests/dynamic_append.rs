@@ -25,8 +25,7 @@ fn streaming_appends_stay_exact_across_epochs() {
         shadow_text.push(b);
         shadow_weights.push(w);
         if i % 250 == 37 {
-            let shadow =
-                WeightedString::new(shadow_text.clone(), shadow_weights.clone()).unwrap();
+            let shadow = WeightedString::new(shadow_text.clone(), shadow_weights.clone()).unwrap();
             let u = shadow.psw();
             for _ in 0..12 {
                 let m = rng.gen_range(1..8usize);

@@ -44,10 +44,7 @@ fn expected_frequency_matches_brute_force() {
         let pat = &ws.text()[i..i + m];
         let want = brute_expected_frequency(&ws, pat);
         let got = index.query(pat).value.unwrap();
-        assert!(
-            (got - want).abs() < 1e-9 * (1.0 + want),
-            "pattern {pat:?}: {got} vs {want}"
-        );
+        assert!((got - want).abs() < 1e-9 * (1.0 + want), "pattern {pat:?}: {got} vs {want}");
     }
 }
 
@@ -99,10 +96,7 @@ fn expected_frequency_survives_persistence() {
 fn dynamic_appends_with_product_locals() {
     let ws = dna_with_probabilities(300, 331);
     let mut idx = DynamicUsi::new(
-        UsiBuilder::new()
-            .with_k(20)
-            .with_local_window(LocalWindow::Product)
-            .deterministic(333),
+        UsiBuilder::new().with_k(20).with_local_window(LocalWindow::Product).deterministic(333),
         ws.clone(),
         1_000,
     );

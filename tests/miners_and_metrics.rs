@@ -18,17 +18,13 @@ fn at_dominates_streaming_adaptations_on_every_dataset() {
         let at_score = evaluate(text, &sa, &exact, &estimates_as_reported(&at.items));
 
         let tt_out = TopKTrie::new().mine(text, k);
-        let tt_reported: Vec<(SubstringRef, u64)> = tt_out
-            .into_iter()
-            .map(|m| (SubstringRef::Owned(m.bytes), m.freq))
-            .collect();
+        let tt_reported: Vec<(SubstringRef, u64)> =
+            tt_out.into_iter().map(|m| (SubstringRef::Owned(m.bytes), m.freq)).collect();
         let tt_score = evaluate(text, &sa, &exact, &tt_reported);
 
         let sh_out = SubstringHk::with_seed(113).mine(text, k);
-        let sh_reported: Vec<(SubstringRef, u64)> = sh_out
-            .into_iter()
-            .map(|m| (SubstringRef::Owned(m.bytes), m.freq))
-            .collect();
+        let sh_reported: Vec<(SubstringRef, u64)> =
+            sh_out.into_iter().map(|m| (SubstringRef::Owned(m.bytes), m.freq)).collect();
         let sh_score = evaluate(text, &sa, &exact, &sh_reported);
 
         let name = ds.spec().name;
@@ -102,12 +98,6 @@ fn more_rounds_trade_accuracy_for_space() {
         let at = approximate_top_k(ws.text(), &ApproxConfig::new(200, s));
         peaks.push(at.peak_tracked_bytes);
     }
-    assert!(
-        peaks.windows(2).all(|w| w[1] <= w[0] + w[0] / 4),
-        "peaks not shrinking: {peaks:?}"
-    );
-    assert!(
-        *peaks.last().unwrap() < peaks[0],
-        "16 rounds should use less space than 2: {peaks:?}"
-    );
+    assert!(peaks.windows(2).all(|w| w[1] <= w[0] + w[0] / 4), "peaks not shrinking: {peaks:?}");
+    assert!(*peaks.last().unwrap() < peaks[0], "16 rounds should use less space than 2: {peaks:?}");
 }

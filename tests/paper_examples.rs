@@ -8,8 +8,8 @@ fn example1() -> WeightedString {
     WeightedString::new(
         b"ATACCCCGATAATACCCCAG".to_vec(),
         vec![
-            0.9, 1.0, 3.0, 2.0, 0.7, 1.0, 1.0, 0.6, 0.5, 0.5, 0.5, 0.8, 1.0, 1.0, 1.0, 0.9,
-            1.0, 1.0, 0.8, 1.0,
+            0.9, 1.0, 3.0, 2.0, 0.7, 1.0, 1.0, 0.6, 0.5, 0.5, 0.5, 0.8, 1.0, 1.0, 1.0, 0.9, 1.0,
+            1.0, 0.8, 1.0,
         ],
     )
     .unwrap()
@@ -50,11 +50,7 @@ fn suffix_tree_and_suffix_array_count_identically() {
     for i in 0..n {
         for len in 1..=(n - i).min(8) {
             let pat = &ws.text()[i..i + len];
-            assert_eq!(
-                st.count(pat) as u64,
-                index.query(pat).occurrences,
-                "pattern {pat:?}"
-            );
+            assert_eq!(st.count(pat) as u64, index.query(pat).occurrences, "pattern {pat:?}");
         }
     }
 }

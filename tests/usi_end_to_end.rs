@@ -52,7 +52,10 @@ fn every_dataset_approximate_strategy() {
         let patterns = sample_patterns(ws.text(), 32);
         let index = UsiBuilder::new()
             .with_k(100)
-            .with_strategy(TopKStrategy::Approximate { rounds: ds.spec().default_s.min(8), lce: LceBackend::Naive })
+            .with_strategy(TopKStrategy::Approximate {
+                rounds: ds.spec().default_s.min(8),
+                lce: LceBackend::Naive,
+            })
             .deterministic(33)
             .build(ws);
         check_index(&index, &patterns);

@@ -1,0 +1,171 @@
+//! Offline API-subset shim of `proptest 1`.
+//!
+//! Provides the slice of the proptest API used by this workspace —
+//! `proptest!`, `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`,
+//! `prop_assume!`, `prop_oneof!`, `Just`, `any::<T>()`, range
+//! strategies, `collection::vec`, and `ProptestConfig::with_cases` —
+//! as randomized case generation **without shrinking**: a failing case
+//! reports the generated inputs verbatim.
+//!
+//! Determinism: the RNG seed is derived from the test function's name so
+//! failures reproduce across runs; set `PROPTEST_SEED` to vary it and
+//! `PROPTEST_CASES` to change the per-test case count (default 64).
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// Shim of `proptest::collection::vec`: a `Vec` whose length is drawn
+    /// from `len` and whose elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Expands to one `#[test]` function per case block, running
+/// `ProptestConfig::cases` random cases each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::rng_for_test(stringify!($name));
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            // local bindings so the strategies are built once, like proptest
+            $(let $arg = $strat;)+
+            let __strategies = ($(&$arg,)+);
+            while accepted < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= config.cases.saturating_mul(config.max_global_rejects),
+                    "proptest '{}': too many prop_assume! rejections \
+                     ({} attempts for {} accepted cases)",
+                    stringify!($name), attempts, accepted,
+                );
+                let ($($arg,)+) = {
+                    let ($($arg,)+) = __strategies;
+                    ($($crate::strategy::Strategy::generate($arg, &mut rng),)+)
+                };
+                let __report = format!(
+                    concat!($(concat!(stringify!($arg), " = {:?}, ")),+),
+                    $(&$arg),+
+                );
+                let __outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    { $body }
+                    Ok(())
+                })();
+                match __outcome {
+                    Ok(()) => accepted += 1,
+                    Err($crate::test_runner::TestCaseError::Reject) => continue,
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest '{}' failed at case {}: {}\n  inputs: {}",
+                            stringify!($name), accepted, msg, __report,
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args…)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// `prop_assert_eq!(left, right)`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+            )));
+        }
+    }};
+}
+
+/// `prop_assert_ne!(left, right)`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+            )));
+        }
+    }};
+}
+
+/// `prop_assume!(cond)`: silently discard the case when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// `prop_oneof![s1, s2, …]`: pick one of several same-typed strategies
+/// uniformly. (The upstream macro also accepts weights and heterogeneous
+/// strategies; this shim covers the unweighted homogeneous form.)
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($strat),+])
+    };
+}

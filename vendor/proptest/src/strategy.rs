@@ -1,0 +1,142 @@
+//! Value-generation strategies: the shim generates (it does not shrink).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type.
+///
+/// Upstream proptest strategies produce value *trees* that support
+/// shrinking; this shim's strategies produce plain values.
+pub trait Strategy {
+    type Value: Debug + Clone;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Shim of `proptest::strategy::Just`: always the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Debug + Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut StdRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut StdRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Types with a default "any value" strategy (shim of `Arbitrary`).
+pub trait ArbitraryValue: Debug + Clone + Sized {
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($ty:ty => $bits:expr),*) => {$(
+        impl ArbitraryValue for $ty {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                (rng.gen::<u64>() >> (64 - $bits)) as $ty
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8 => 8, u16 => 16, u32 => 32, u64 => 64);
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen::<bool>()
+    }
+}
+
+impl ArbitraryValue for usize {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen::<u64>() as usize
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Clone, Debug)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Shim of `proptest::prelude::any::<T>()`.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Uniform choice between same-typed strategies; built by `prop_oneof!`.
+#[derive(Clone, Debug)]
+pub struct Union<S> {
+    options: Vec<S>,
+}
+
+impl<S: Strategy> Union<S> {
+    pub fn new(options: Vec<S>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<S: Strategy> Strategy for Union<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+/// Strategy returned by [`crate::collection::vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let n = rng.gen_range(self.len.clone());
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}

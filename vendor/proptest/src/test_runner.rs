@@ -1,0 +1,51 @@
+//! Per-test configuration and case outcomes for the `proptest!` driver.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Shim of `proptest::test_runner::Config` (field subset).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Accepted cases to run per test.
+    pub cases: u32,
+    /// `prop_assume!` rejection budget, as a multiple of `cases`.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..Default::default() }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64);
+        ProptestConfig { cases, max_global_rejects: 40 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: discard the case, draw another.
+    Reject,
+    /// `prop_assert*!` failed: the whole test fails.
+    Fail(String),
+}
+
+/// Deterministic per-test RNG: seeded from the test name (FNV-1a) so a
+/// failure reproduces on re-run; `PROPTEST_SEED` perturbs all tests.
+pub fn rng_for_test(name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+        if let Ok(s) = seed.parse::<u64>() {
+            h ^= s.rotate_left(17);
+        }
+    }
+    StdRng::seed_from_u64(h)
+}
