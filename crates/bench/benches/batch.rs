@@ -1,0 +1,78 @@
+//! Batch-query amortisation: the serving layer pushes thousands of
+//! patterns per request. [`UsiIndex::query_batch`] hoists per-query
+//! setup out of the loop and answers repeated patterns once — the win
+//! that matters on skewed (hot-pattern-heavy) serving batches. This
+//! bench measures the loop vs the batch on a uniform and on a skewed
+//! workload, plus the catalog's scoped-thread spread at several widths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use usi_core::{UsiBuilder, UsiIndex};
+use usi_datasets::Dataset;
+use usi_server::Catalog;
+
+fn workload(index: &UsiIndex, count: usize, seed: u64) -> Vec<Vec<u8>> {
+    let text = index.text();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            // mix of short (likely cached) and long (fallback) patterns
+            let m = rng.gen_range(2..24usize);
+            let i = rng.gen_range(0..text.len() - m);
+            text[i..i + m].to_vec()
+        })
+        .collect()
+}
+
+fn bench_looped_vs_batch(c: &mut Criterion) {
+    let ws = Dataset::Xml.generate(60_000, 7);
+    let index = UsiBuilder::new().with_k(600).deterministic(5).build(ws);
+    let patterns = workload(&index, 1_000, 11);
+    let refs: Vec<&[u8]> = patterns.iter().map(Vec::as_slice).collect();
+
+    // a skewed batch: the same 1 000 slots drawn from 50 hot patterns,
+    // the shape a serving layer actually sees
+    let hot = workload(&index, 50, 13);
+    let mut rng = StdRng::seed_from_u64(17);
+    let skewed: Vec<&[u8]> =
+        (0..1_000).map(|_| hot[rng.gen_range(0..hot.len())].as_slice()).collect();
+
+    let mut group = c.benchmark_group("query_batch_amortisation");
+    group.throughput(Throughput::Elements(refs.len() as u64));
+    group.bench_function("looped_query/uniform", |b| {
+        b.iter(|| refs.iter().map(|p| index.query(p).occurrences).sum::<u64>())
+    });
+    group.bench_function("query_batch/uniform", |b| {
+        b.iter(|| index.query_batch(&refs).iter().map(|q| q.occurrences).sum::<u64>())
+    });
+    group.bench_function("looped_query/skewed", |b| {
+        b.iter(|| skewed.iter().map(|p| index.query(p).occurrences).sum::<u64>())
+    });
+    group.bench_function("query_batch/skewed", |b| {
+        b.iter(|| index.query_batch(&skewed).iter().map(|q| q.occurrences).sum::<u64>())
+    });
+    group.finish();
+
+    // the catalog spreads the same batch over scoped worker threads
+    let catalog = Catalog::new(4);
+    catalog.insert("doc", index);
+    let mut group = c.benchmark_group("catalog_batch_threads");
+    group.throughput(Throughput::Elements(refs.len() as u64));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(BenchmarkId::from_parameter(threads), |b| {
+            b.iter(|| {
+                catalog
+                    .query_batch("doc", &refs, threads)
+                    .expect("doc is loaded")
+                    .iter()
+                    .map(|q| q.occurrences)
+                    .sum::<u64>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_looped_vs_batch);
+criterion_main!(benches);

@@ -214,6 +214,17 @@ impl UsiIndex {
     /// callers (e.g. the dynamic index) can merge further occurrences
     /// before extracting an aggregate.
     pub fn query_accumulator(&self, pattern: &[u8]) -> (UtilityAccumulator, QuerySource) {
+        let searcher = SuffixArraySearcher::new(self.ws.text(), &self.sa);
+        self.query_accumulator_with(&searcher, pattern)
+    }
+
+    /// Query body with the suffix-array searcher hoisted out, so batch
+    /// callers set it up once per batch instead of once per pattern.
+    fn query_accumulator_with(
+        &self,
+        searcher: &SuffixArraySearcher<'_>,
+        pattern: &[u8],
+    ) -> (UtilityAccumulator, QuerySource) {
         let m = pattern.len();
         if m == 0 || m > self.ws.len() {
             return (UtilityAccumulator::new(), QuerySource::TextIndex);
@@ -226,7 +237,6 @@ impl UsiIndex {
                 return (*acc, QuerySource::HashTable);
             }
         }
-        let searcher = SuffixArraySearcher::new(self.ws.text(), &self.sa);
         let mut acc = UtilityAccumulator::new();
         if let Some(range) = searcher.interval(pattern) {
             for &p in &self.sa[range] {
@@ -234,6 +244,51 @@ impl UsiIndex {
             }
         }
         (acc, QuerySource::TextIndex)
+    }
+
+    /// Answers a batch of USI queries, one [`UsiQuery`] per pattern in
+    /// order. Answers are identical to calling [`UsiIndex::query`] in a
+    /// loop. Two things amortise across the batch: the per-query setup
+    /// (searcher construction, result allocation) is hoisted out of the
+    /// loop, and **repeated patterns are answered once** — real query
+    /// batches are heavily skewed towards hot patterns, and a duplicate
+    /// costs one hash probe instead of a full `O(m log n + occ)` query.
+    pub fn query_batch(&self, patterns: &[&[u8]]) -> Vec<UsiQuery> {
+        self.query_accumulator_batch(patterns)
+            .into_iter()
+            .map(|(acc, source)| UsiQuery {
+                value: acc.finish(self.utility.aggregator),
+                occurrences: acc.count(),
+                source,
+            })
+            .collect()
+    }
+
+    /// Batch variant of [`UsiIndex::query_accumulator`]: raw accumulators
+    /// for a pattern batch, so multi-document callers (e.g. a fan-out
+    /// over a catalog of indexes) can merge per-document occurrences
+    /// before extracting aggregates. Duplicate patterns in the batch are
+    /// computed once and copied.
+    pub fn query_accumulator_batch(
+        &self,
+        patterns: &[&[u8]],
+    ) -> Vec<(UtilityAccumulator, QuerySource)> {
+        let searcher = SuffixArraySearcher::new(self.ws.text(), &self.sa);
+        let mut first_seen: FxHashMap<&[u8], usize> = FxHashMap::default();
+        let mut out: Vec<(UtilityAccumulator, QuerySource)> = Vec::with_capacity(patterns.len());
+        for (i, &pattern) in patterns.iter().enumerate() {
+            match first_seen.entry(pattern) {
+                std::collections::hash_map::Entry::Occupied(entry) => {
+                    let answer = out[*entry.get()];
+                    out.push(answer);
+                }
+                std::collections::hash_map::Entry::Vacant(entry) => {
+                    entry.insert(i);
+                    out.push(self.query_accumulator_with(&searcher, pattern));
+                }
+            }
+        }
+        out
     }
 
     /// Populates `H` from exact triplets (phase (ii), bit-vector variant):

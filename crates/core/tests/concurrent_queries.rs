@@ -1,0 +1,102 @@
+//! The serving layer shares one `UsiIndex` across a pool of query
+//! threads (`&UsiIndex` is `Sync`: queries take no locks and mutate
+//! nothing). This test guards that assumption: many threads issuing
+//! interleaved queries against one shared index must produce exactly
+//! the answers of a serial run.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use usi_core::{UsiBuilder, UsiIndex, UsiQuery};
+use usi_strings::WeightedString;
+
+fn build_index(seed: u64, n: usize) -> UsiIndex {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let text: Vec<u8> = (0..n).map(|_| b'a' + rng.gen_range(0..4u8)).collect();
+    let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..2.0)).collect();
+    let ws = WeightedString::new(text, weights).unwrap();
+    UsiBuilder::new().with_k(150).deterministic(seed).build(ws)
+}
+
+fn workload(index: &UsiIndex, count: usize, seed: u64) -> Vec<Vec<u8>> {
+    let text = index.text();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut patterns: Vec<Vec<u8>> = (0..count)
+        .map(|_| {
+            let m = rng.gen_range(1..12usize);
+            let i = rng.gen_range(0..text.len() - m);
+            text[i..i + m].to_vec()
+        })
+        .collect();
+    patterns.push(b"zzzz".to_vec()); // absent
+    patterns.push(Vec::new()); // empty
+    patterns
+}
+
+#[test]
+fn interleaved_threads_agree_with_serial_run() {
+    const THREADS: usize = 8;
+    let index = build_index(41, 3_000);
+    let patterns = workload(&index, 400, 43);
+    let serial: Vec<UsiQuery> = patterns.iter().map(|p| index.query(p)).collect();
+
+    let per_thread: Vec<Vec<UsiQuery>> = std::thread::scope(|scope| {
+        let index = &index;
+        let patterns = &patterns;
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                scope.spawn(move || {
+                    // each thread walks the workload from a different
+                    // offset so the threads interleave distinct queries
+                    // at any instant; answers are realigned afterwards
+                    let len = patterns.len();
+                    let mut answers = vec![None; len];
+                    for step in 0..len {
+                        let i = (t * len / THREADS + step) % len;
+                        answers[i] = Some(index.query(&patterns[i]));
+                    }
+                    answers.into_iter().map(Option::unwrap).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("query thread panicked")).collect()
+    });
+
+    for (t, answers) in per_thread.iter().enumerate() {
+        assert_eq!(answers.len(), serial.len());
+        for (i, (concurrent, expected)) in answers.iter().zip(&serial).enumerate() {
+            assert_eq!(concurrent, expected, "thread {t}, pattern {i}");
+        }
+    }
+}
+
+#[test]
+fn batch_with_heavy_duplicates_matches_serial() {
+    // serving batches are skewed towards hot patterns; query_batch
+    // answers duplicates by copying — answers must stay identical
+    let index = build_index(59, 1_500);
+    let distinct = workload(&index, 25, 61);
+    let mut rng = StdRng::seed_from_u64(67);
+    let skewed: Vec<&[u8]> =
+        (0..400).map(|_| distinct[rng.gen_range(0..distinct.len())].as_slice()).collect();
+    let serial: Vec<UsiQuery> = skewed.iter().map(|p| index.query(p)).collect();
+    assert_eq!(index.query_batch(&skewed), serial);
+}
+
+#[test]
+fn concurrent_batches_agree_with_serial_run() {
+    let index = build_index(47, 2_000);
+    let patterns = workload(&index, 300, 53);
+    let refs: Vec<&[u8]> = patterns.iter().map(Vec::as_slice).collect();
+    let serial: Vec<UsiQuery> = refs.iter().map(|p| index.query(p)).collect();
+
+    std::thread::scope(|scope| {
+        let index = &index;
+        let refs = &refs;
+        let serial = &serial;
+        for _ in 0..4 {
+            scope.spawn(move || {
+                assert_eq!(&index.query_batch(refs), serial);
+            });
+        }
+    });
+}

@@ -1,0 +1,434 @@
+//! A sharded multi-index registry: many [`UsiIndex`]es ("documents")
+//! served from one process.
+//!
+//! Documents are partitioned over a fixed number of shards by a hash of
+//! their id. Each shard is an `RwLock<map>` whose values are
+//! `Arc<Doc>`: a query takes the shard read-lock only long enough to
+//! clone the `Arc`, then runs against the immutable index with no lock
+//! held — so long queries never block loads and loads never block
+//! queries on other shards.
+//!
+//! Query surface:
+//!
+//! * [`Catalog::query`] / [`Catalog::query_batch`] — one document,
+//!   routed by id; batches are spread over `std::thread::scope` workers
+//!   in contiguous chunks (answers stay in pattern order).
+//! * [`Catalog::query_all`] / [`Catalog::query_all_batch`] — fan-out: a
+//!   pattern's utility on every loaded document, plus the merged
+//!   accumulator across documents (the whole-corpus answer).
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+use std::sync::{Arc, RwLock};
+use usi_core::{PersistError, QuerySource, UsiIndex, UsiQuery};
+use usi_strings::UtilityAccumulator;
+
+/// A named, immutable, queryable index held by a [`Catalog`].
+#[derive(Debug)]
+pub struct Doc {
+    id: String,
+    index: UsiIndex,
+}
+
+impl Doc {
+    /// The document id (file stem for documents loaded from disk).
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> &UsiIndex {
+        &self.index
+    }
+}
+
+/// One pattern's fan-out answer: per-document results plus the merged
+/// whole-corpus aggregate.
+#[derive(Debug, Clone)]
+pub struct FanOut {
+    /// `(doc id, answer)` for every loaded document, sorted by id.
+    pub per_doc: Vec<(String, UsiQuery)>,
+    /// Total occurrences across all documents.
+    pub total_occurrences: u64,
+    /// The pattern's utility over the whole corpus: accumulators merged
+    /// across documents, finished with the shared aggregator. `None`
+    /// when the documents disagree on the aggregator (the merge would
+    /// be meaningless) or the merged aggregate is undefined.
+    pub total_value: Option<f64>,
+}
+
+/// Errors raised while loading documents into a [`Catalog`].
+#[derive(Debug)]
+pub enum CatalogError {
+    /// Filesystem-level failure (open, read dir, …), with the path.
+    Io(String, io::Error),
+    /// The file exists but is not a valid `.usix` index, with the path.
+    Load(String, PersistError),
+}
+
+impl std::fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(path, e) => write!(f, "{path}: {e}"),
+            Self::Load(path, e) => write!(f, "{path}: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+type Shard = RwLock<BTreeMap<String, Arc<Doc>>>;
+
+/// The sharded registry. Cheap to share: wrap it in an `Arc` and hand
+/// clones to server workers.
+#[derive(Debug)]
+pub struct Catalog {
+    shards: Vec<Shard>,
+}
+
+/// FNV-1a over the id bytes: stable across processes, so shard
+/// placement is deterministic for a given shard count.
+fn shard_hash(id: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in id.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl Catalog {
+    /// Creates a catalog with `shards` shards (clamped to ≥ 1).
+    pub fn new(shards: usize) -> Self {
+        Self { shards: (0..shards.max(1)).map(|_| RwLock::new(BTreeMap::new())).collect() }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, id: &str) -> &Shard {
+        &self.shards[(shard_hash(id) % self.shards.len() as u64) as usize]
+    }
+
+    /// Inserts (or replaces) a document built in-process from raw text +
+    /// weights or loaded elsewhere. Returns the shared handle.
+    pub fn insert(&self, id: impl Into<String>, index: UsiIndex) -> Arc<Doc> {
+        let id = id.into();
+        let doc = Arc::new(Doc { id: id.clone(), index });
+        self.shard_of(&id).write().expect("shard lock poisoned").insert(id, Arc::clone(&doc));
+        doc
+    }
+
+    /// Loads one `.usix` file; the document id is the file stem.
+    pub fn load_usix(&self, path: &Path) -> Result<Arc<Doc>, CatalogError> {
+        let display = path.display().to_string();
+        let file = std::fs::File::open(path).map_err(|e| CatalogError::Io(display.clone(), e))?;
+        let mut reader = io::BufReader::new(file);
+        let index = UsiIndex::read_from(&mut reader).map_err(|e| CatalogError::Load(display, e))?;
+        let id = path.file_stem().map_or_else(String::new, |s| s.to_string_lossy().into_owned());
+        Ok(self.insert(id, index))
+    }
+
+    /// Loads a path that is either one `.usix` file or a directory whose
+    /// `.usix` entries are all loaded. Returns the ids loaded (sorted
+    /// for directories: deterministic across filesystems).
+    pub fn load_path(&self, path: &Path) -> Result<Vec<String>, CatalogError> {
+        let display = path.display().to_string();
+        let meta = std::fs::metadata(path).map_err(|e| CatalogError::Io(display.clone(), e))?;
+        if !meta.is_dir() {
+            return Ok(vec![self.load_usix(path)?.id().to_string()]);
+        }
+        let mut files: Vec<_> = std::fs::read_dir(path)
+            .map_err(|e| CatalogError::Io(display.clone(), e))?
+            .filter_map(Result::ok)
+            .map(|entry| entry.path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "usix"))
+            .collect();
+        files.sort();
+        let mut ids = Vec::with_capacity(files.len());
+        for file in &files {
+            ids.push(self.load_usix(file)?.id().to_string());
+        }
+        Ok(ids)
+    }
+
+    /// Removes a document; `true` if it was present.
+    pub fn remove(&self, id: &str) -> bool {
+        self.shard_of(id).write().expect("shard lock poisoned").remove(id).is_some()
+    }
+
+    /// Looks up a document by id (clones the `Arc`; no lock is held
+    /// afterwards).
+    pub fn get(&self, id: &str) -> Option<Arc<Doc>> {
+        self.shard_of(id).read().expect("shard lock poisoned").get(id).cloned()
+    }
+
+    /// Number of loaded documents.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().expect("shard lock poisoned").len()).sum()
+    }
+
+    /// Whether the catalog holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A consistent-per-shard snapshot of all documents, sorted by id.
+    pub fn docs(&self) -> Vec<Arc<Doc>> {
+        let mut docs: Vec<Arc<Doc>> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read().expect("shard lock poisoned").values().cloned().collect::<Vec<_>>()
+            })
+            .collect();
+        docs.sort_by(|a, b| a.id.cmp(&b.id));
+        docs
+    }
+
+    /// The loaded document ids, sorted.
+    pub fn doc_ids(&self) -> Vec<String> {
+        self.docs().iter().map(|d| d.id.clone()).collect()
+    }
+
+    /// Queries one document; `None` if the id is not loaded.
+    pub fn query(&self, id: &str, pattern: &[u8]) -> Option<UsiQuery> {
+        self.get(id).map(|doc| doc.index.query(pattern))
+    }
+
+    /// Batch-queries one document, spreading the patterns over up to
+    /// `threads` scoped workers in contiguous chunks. Answers are in
+    /// pattern order and identical to the serial loop. `None` if the id
+    /// is not loaded.
+    pub fn query_batch(
+        &self,
+        id: &str,
+        patterns: &[&[u8]],
+        threads: usize,
+    ) -> Option<Vec<UsiQuery>> {
+        let doc = self.get(id)?;
+        Some(Self::batch_on(&doc.index, patterns, threads))
+    }
+
+    fn batch_on(index: &UsiIndex, patterns: &[&[u8]], threads: usize) -> Vec<UsiQuery> {
+        let threads = threads.max(1).min(patterns.len().max(1));
+        if threads == 1 {
+            return index.query_batch(patterns);
+        }
+        let chunk = patterns.len().div_ceil(threads);
+        let answers: Vec<Vec<UsiQuery>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = patterns
+                .chunks(chunk)
+                .map(|part| scope.spawn(move || index.query_batch(part)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("query worker panicked")).collect()
+        });
+        answers.into_iter().flatten().collect()
+    }
+
+    /// Fan-out: one pattern's utility on every loaded document plus the
+    /// merged whole-corpus aggregate.
+    pub fn query_all(&self, pattern: &[u8]) -> FanOut {
+        self.fan_out_batch(&[pattern], 1).pop().expect("one pattern in, one fan-out")
+    }
+
+    /// Batch fan-out: each pattern against every loaded document, the
+    /// documents spread over up to `threads` scoped workers. One
+    /// [`FanOut`] per pattern, in pattern order.
+    pub fn query_all_batch(&self, patterns: &[&[u8]], threads: usize) -> Vec<FanOut> {
+        self.fan_out_batch(patterns, threads)
+    }
+
+    fn fan_out_batch(&self, patterns: &[&[u8]], threads: usize) -> Vec<FanOut> {
+        let docs = self.docs();
+        let threads = threads.max(1).min(docs.len().max(1));
+        // per document: the raw accumulators for every pattern
+        let per_doc: Vec<Vec<(UtilityAccumulator, QuerySource)>> = if threads == 1 {
+            docs.iter().map(|doc| doc.index().query_accumulator_batch(patterns)).collect()
+        } else {
+            let chunk = docs.len().div_ceil(threads);
+            let parts: Vec<Vec<Vec<(UtilityAccumulator, QuerySource)>>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = docs
+                        .chunks(chunk)
+                        .map(|part| {
+                            scope.spawn(move || {
+                                part.iter()
+                                    .map(|doc| doc.index().query_accumulator_batch(patterns))
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("fan-out worker panicked"))
+                        .collect()
+                });
+            parts.into_iter().flatten().collect()
+        };
+
+        let shared_utility = docs.first().map(|d| d.index().utility());
+        let uniform = docs.iter().all(|d| Some(d.index().utility()) == shared_utility);
+        (0..patterns.len())
+            .map(|pi| {
+                let mut merged = UtilityAccumulator::new();
+                let mut results = Vec::with_capacity(docs.len());
+                for (doc, answers) in docs.iter().zip(&per_doc) {
+                    let (acc, source) = answers[pi];
+                    merged.merge(&acc);
+                    let value = acc.finish(doc.index().utility().aggregator);
+                    results.push((
+                        doc.id().to_string(),
+                        UsiQuery { value, occurrences: acc.count(), source },
+                    ));
+                }
+                FanOut {
+                    per_doc: results,
+                    total_occurrences: merged.count(),
+                    total_value: if uniform {
+                        shared_utility.and_then(|u| merged.finish(u.aggregator))
+                    } else {
+                        None
+                    },
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use usi_core::UsiBuilder;
+    use usi_strings::{GlobalAggregator, WeightedString};
+
+    fn sample_ws(seed: u64, n: usize) -> WeightedString {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let text: Vec<u8> = (0..n).map(|_| b'a' + rng.gen_range(0..3u8)).collect();
+        let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..2.0)).collect();
+        WeightedString::new(text, weights).unwrap()
+    }
+
+    fn filled_catalog() -> (Catalog, Vec<String>) {
+        let catalog = Catalog::new(4);
+        let mut ids = Vec::new();
+        for (i, seed) in [11u64, 22, 33].iter().enumerate() {
+            let id = format!("doc{i}");
+            let index =
+                UsiBuilder::new().with_k(50).deterministic(*seed).build(sample_ws(*seed, 800));
+            catalog.insert(&id, index);
+            ids.push(id);
+        }
+        (catalog, ids)
+    }
+
+    #[test]
+    fn routing_and_listing() {
+        let (catalog, ids) = filled_catalog();
+        assert_eq!(catalog.len(), 3);
+        assert!(!catalog.is_empty());
+        assert_eq!(catalog.doc_ids(), ids);
+        for id in &ids {
+            assert_eq!(catalog.get(id).unwrap().id(), id);
+        }
+        assert!(catalog.get("nope").is_none());
+        assert!(catalog.remove("doc1"));
+        assert!(!catalog.remove("doc1"));
+        assert_eq!(catalog.len(), 2);
+    }
+
+    #[test]
+    fn single_shard_still_serves_all() {
+        let catalog = Catalog::new(1);
+        let index = UsiBuilder::new().with_k(10).deterministic(5).build(sample_ws(5, 200));
+        catalog.insert("only", index);
+        assert_eq!(catalog.shard_count(), 1);
+        assert!(catalog.query("only", b"a").is_some());
+    }
+
+    #[test]
+    fn batch_matches_serial_across_thread_counts() {
+        let (catalog, ids) = filled_catalog();
+        let doc = catalog.get(&ids[0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(77);
+        let text = doc.index().text().to_vec();
+        let patterns: Vec<Vec<u8>> = (0..100)
+            .map(|_| {
+                let m = rng.gen_range(1..8usize);
+                let i = rng.gen_range(0..text.len() - m);
+                text[i..i + m].to_vec()
+            })
+            .chain([b"zzz".to_vec(), Vec::new()])
+            .collect();
+        let refs: Vec<&[u8]> = patterns.iter().map(Vec::as_slice).collect();
+        let serial: Vec<UsiQuery> = refs.iter().map(|p| doc.index().query(p)).collect();
+        assert_eq!(doc.index().query_batch(&refs), serial);
+        for threads in [1, 2, 3, 8, 64] {
+            assert_eq!(catalog.query_batch(&ids[0], &refs, threads).unwrap(), serial);
+        }
+        assert!(catalog.query_batch("nope", &refs, 2).is_none());
+    }
+
+    #[test]
+    fn fan_out_merges_across_docs() {
+        let (catalog, ids) = filled_catalog();
+        let pattern = b"ab";
+        let fan = catalog.query_all(pattern);
+        assert_eq!(fan.per_doc.len(), 3);
+        let mut expect_occ = 0;
+        let mut expect_sum = 0.0;
+        for (id, q) in &fan.per_doc {
+            let direct = catalog.query(id, pattern).unwrap();
+            assert_eq!(*q, direct);
+            expect_occ += direct.occurrences;
+            expect_sum += direct.value.unwrap_or(0.0);
+        }
+        assert!(ids.iter().eq(fan.per_doc.iter().map(|(id, _)| id)));
+        assert_eq!(fan.total_occurrences, expect_occ);
+        assert!((fan.total_value.unwrap() - expect_sum).abs() < 1e-9);
+
+        // batched fan-out agrees with the one-pattern call, at any width
+        let refs: Vec<&[u8]> = vec![b"ab", b"ba", b"zzz"];
+        for threads in [1, 2, 7] {
+            let fans = catalog.query_all_batch(&refs, threads);
+            assert_eq!(fans.len(), 3);
+            for (p, fan) in refs.iter().zip(&fans) {
+                let single = catalog.query_all(p);
+                assert_eq!(fan.per_doc, single.per_doc);
+                assert_eq!(fan.total_occurrences, single.total_occurrences);
+                assert_eq!(fan.total_value, single.total_value);
+            }
+        }
+    }
+
+    #[test]
+    fn fan_out_with_mixed_aggregators_has_no_total() {
+        let catalog = Catalog::new(2);
+        let a = UsiBuilder::new().with_k(10).deterministic(1).build(sample_ws(1, 300));
+        let b = UsiBuilder::new()
+            .with_k(10)
+            .with_aggregator(GlobalAggregator::Max)
+            .deterministic(2)
+            .build(sample_ws(2, 300));
+        catalog.insert("a", a);
+        catalog.insert("b", b);
+        let fan = catalog.query_all(b"a");
+        assert_eq!(fan.per_doc.len(), 2);
+        assert!(fan.total_value.is_none());
+        assert!(fan.total_occurrences > 0);
+    }
+
+    #[test]
+    fn empty_catalog_fan_out() {
+        let catalog = Catalog::new(3);
+        let fan = catalog.query_all(b"a");
+        assert!(fan.per_doc.is_empty());
+        assert_eq!(fan.total_occurrences, 0);
+        assert_eq!(fan.total_value, None);
+    }
+}

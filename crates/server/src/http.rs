@@ -1,0 +1,581 @@
+//! A minimal HTTP/1.1 front end over `std::net::TcpListener`.
+//!
+//! Endpoints (all responses are JSON):
+//!
+//! | route | answer |
+//! |---|---|
+//! | `GET /healthz` | `{"status":"ok","docs":N}` |
+//! | `GET /v1/docs` | the loaded documents with per-doc summaries |
+//! | `GET /v1/docs/{id}/stats` | size breakdown and build stats of one document |
+//! | `POST /v1/query` | batch utilities: body `{"doc":"<id>"` or `"*","patterns":[…]}` |
+//!
+//! The implementation is deliberately small: request parsing handles
+//! exactly what the API needs (request line, headers, `Content-Length`
+//! bodies), every response carries `Content-Length` and
+//! `Connection: close`, and a fixed-size [`WorkerPool`] bounds
+//! concurrency. Shutdown is graceful: [`ServerHandle::shutdown`] stops
+//! the accept loop, lets queued connections finish, and joins every
+//! thread.
+
+use crate::catalog::Catalog;
+use crate::json::{fan_out_response_json, query_response_json, Json};
+use crate::pool::WorkerPool;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Longest accepted request head (request line + headers).
+const MAX_HEAD: usize = 16 * 1024;
+/// Longest accepted request body.
+const MAX_BODY: usize = 4 * 1024 * 1024;
+/// Most patterns per `POST /v1/query` request.
+const MAX_PATTERNS: usize = 10_000;
+/// Per-connection socket timeout.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Connection-handling worker threads.
+    pub workers: usize,
+    /// Scoped threads a single batch/fan-out query may spread over.
+    pub batch_threads: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism().map_or(4, usize::from);
+        Self { workers: 4, batch_threads: cores.clamp(1, 8) }
+    }
+}
+
+impl ServerConfig {
+    /// A config with `workers` connection workers and default batching.
+    pub fn with_workers(workers: usize) -> Self {
+        Self { workers: workers.max(1), ..Self::default() }
+    }
+}
+
+/// A running server; dropping it (or calling
+/// [`ServerHandle::shutdown`]) stops the accept loop and joins every
+/// worker.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports: bind to port 0 and
+    /// read the actual port here).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains queued connections and joins all threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // wake the blocking accept() with a throwaway connection; a
+        // wildcard bind (0.0.0.0 / ::) is not connectable everywhere,
+        // so aim at the loopback of the same family instead
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake.ip() {
+                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect_timeout(&wake, Duration::from_secs(1));
+        if let Some(thread) = self.accept.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+/// Starts serving `catalog` on `listener` with a pool of
+/// `config.workers` connection workers. Returns immediately; the accept
+/// loop runs on its own thread until the handle shuts down.
+pub fn serve(
+    catalog: Arc<Catalog>,
+    listener: TcpListener,
+    config: ServerConfig,
+) -> io::Result<ServerHandle> {
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let accept = std::thread::Builder::new().name("usi-accept".into()).spawn(move || {
+        let pool = WorkerPool::new(config.workers);
+        loop {
+            let stream = match listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(_) if stop_flag.load(Ordering::SeqCst) => break,
+                Err(_) => {
+                    // transient failure (EMFILE under flood, ECONNABORTED):
+                    // back off instead of hot-spinning, letting in-flight
+                    // requests finish and release descriptors
+                    std::thread::sleep(Duration::from_millis(50));
+                    continue;
+                }
+            };
+            if stop_flag.load(Ordering::SeqCst) {
+                break; // the wake-up connection (or a race with it)
+            }
+            let catalog = Arc::clone(&catalog);
+            pool.execute(move || handle_connection(stream, &catalog, config.batch_threads));
+        }
+        // pool drops here: queued connections drain, workers join
+    })?;
+    Ok(ServerHandle { addr, stop, accept: Some(accept) })
+}
+
+fn handle_connection(mut stream: TcpStream, catalog: &Catalog, batch_threads: usize) {
+    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+    let response = match read_request(&mut stream) {
+        Ok(request) => route(catalog, &request, batch_threads),
+        Err(HttpError::TooLarge) => error_response(413, "request too large"),
+        Err(HttpError::Bad(what)) => error_response(400, what),
+        Err(HttpError::Io(_)) => return, // client went away: nothing to answer
+    };
+    let _ = write_response(&mut stream, &response);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// A parsed request: exactly what the router needs.
+#[derive(Debug)]
+struct Request {
+    method: String,
+    /// Path component of the request target (query string stripped).
+    path: String,
+    body: Vec<u8>,
+}
+
+#[derive(Debug)]
+enum HttpError {
+    Bad(&'static str),
+    TooLarge,
+    /// The payload is only surfaced through `Debug` (tests, future logging).
+    Io(#[allow(dead_code)] io::Error),
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Reads one request (head + `Content-Length` body) from `r`.
+fn read_request<R: Read>(r: &mut R) -> Result<Request, HttpError> {
+    // read until the blank line ending the head
+    let mut buf = Vec::with_capacity(1024);
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD {
+            return Err(HttpError::TooLarge);
+        }
+        let mut chunk = [0u8; 1024];
+        let got = r.read(&mut chunk)?;
+        if got == 0 {
+            return Err(if buf.is_empty() {
+                HttpError::Io(io::ErrorKind::UnexpectedEof.into())
+            } else {
+                HttpError::Bad("truncated request head")
+            });
+        }
+        buf.extend_from_slice(&chunk[..got]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::Bad("request head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && t.starts_with('/') => (m, t, v),
+        _ => return Err(HttpError::Bad("malformed request line")),
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::Bad("unsupported HTTP version"));
+    }
+
+    let mut content_length = 0usize;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else { continue };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length =
+                value.trim().parse().map_err(|_| HttpError::Bad("unparseable Content-Length"))?;
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(HttpError::TooLarge);
+    }
+
+    // body: whatever followed the head in the buffer, then the rest.
+    // Bytes beyond Content-Length (a pipelined next request, a trailing
+    // CRLF from a naive client) are ignored: this server answers one
+    // request per connection and closes.
+    let mut body = buf[head_end + 4..].to_vec();
+    body.truncate(content_length);
+    let already = body.len();
+    body.resize(content_length, 0);
+    r.read_exact(&mut body[already..])?;
+
+    let path = target.split('?').next().unwrap_or("").to_string();
+    Ok(Request { method: method.to_string(), path, body })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// A response about to be written: status + JSON body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// JSON body.
+    pub body: String,
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        _ => "Internal Server Error",
+    }
+}
+
+fn write_response<W: Write>(w: &mut W, response: &Response) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        reason(response.status),
+        response.body.len(),
+    )?;
+    w.write_all(response.body.as_bytes())?;
+    w.flush()
+}
+
+fn ok(body: Json) -> Response {
+    Response { status: 200, body: body.encode() }
+}
+
+fn error_response(status: u16, message: &str) -> Response {
+    Response { status, body: Json::Obj(vec![("error".into(), Json::str(message))]).encode() }
+}
+
+/// Routes one parsed request against the catalog. Public so tests (and
+/// alternative transports) can exercise the API without sockets.
+pub fn respond(catalog: &Catalog, method: &str, path: &str, body: &[u8]) -> Response {
+    route(catalog, &Request { method: method.into(), path: path.into(), body: body.to_vec() }, 1)
+}
+
+fn route(catalog: &Catalog, request: &Request, batch_threads: usize) -> Response {
+    let path = request.path.as_str();
+    match (request.method.as_str(), path) {
+        ("GET", "/healthz") => ok(Json::Obj(vec![
+            ("status".into(), Json::str("ok")),
+            ("docs".into(), Json::Num(catalog.len() as f64)),
+        ])),
+        ("GET", "/v1/docs") => list_docs(catalog),
+        ("POST", "/v1/query") => query(catalog, &request.body, batch_threads),
+        ("GET", _) if doc_stats_id(path).is_some() => {
+            doc_stats(catalog, doc_stats_id(path).expect("checked by guard"))
+        }
+        (_, "/healthz" | "/v1/docs" | "/v1/query") => error_response(405, "method not allowed"),
+        (_, _) if doc_stats_id(path).is_some() => error_response(405, "method not allowed"),
+        _ => error_response(404, "no such route"),
+    }
+}
+
+/// Parses `/v1/docs/{id}/stats` into `{id}`.
+fn doc_stats_id(path: &str) -> Option<&str> {
+    let id = path.strip_prefix("/v1/docs/")?.strip_suffix("/stats")?;
+    if id.is_empty() || id.contains('/') {
+        None
+    } else {
+        Some(id)
+    }
+}
+
+fn list_docs(catalog: &Catalog) -> Response {
+    let docs = catalog
+        .docs()
+        .iter()
+        .map(|doc| {
+            let index = doc.index();
+            Json::Obj(vec![
+                ("id".into(), Json::str(doc.id())),
+                ("n".into(), Json::Num(index.text().len() as f64)),
+                ("cached_substrings".into(), Json::Num(index.cached_substrings() as f64)),
+                ("aggregator".into(), Json::str(index.utility().aggregator.name())),
+            ])
+        })
+        .collect();
+    ok(Json::Obj(vec![("docs".into(), Json::Arr(docs))]))
+}
+
+fn doc_stats(catalog: &Catalog, id: &str) -> Response {
+    let Some(doc) = catalog.get(id) else {
+        return error_response(404, &format!("no such document {id:?}"));
+    };
+    let index = doc.index();
+    let stats = index.stats();
+    let size = index.size_breakdown();
+    ok(Json::Obj(vec![
+        ("id".into(), Json::str(doc.id())),
+        ("n".into(), Json::Num(index.text().len() as f64)),
+        ("cached_substrings".into(), Json::Num(index.cached_substrings() as f64)),
+        ("tau".into(), stats.tau.map_or(Json::Null, |t| Json::Num(t as f64))),
+        ("distinct_lengths".into(), Json::Num(stats.distinct_lengths as f64)),
+        ("aggregator".into(), Json::str(index.utility().aggregator.name())),
+        (
+            "bytes".into(),
+            Json::Obj(vec![
+                ("text".into(), Json::Num(size.text as f64)),
+                ("weights".into(), Json::Num(size.weights as f64)),
+                ("suffix_array".into(), Json::Num(size.suffix_array as f64)),
+                ("psw".into(), Json::Num(size.psw as f64)),
+                ("hash_table".into(), Json::Num(size.hash_table as f64)),
+                ("total".into(), Json::Num(size.total() as f64)),
+            ]),
+        ),
+    ]))
+}
+
+fn query(catalog: &Catalog, body: &[u8], batch_threads: usize) -> Response {
+    let text = match std::str::from_utf8(body) {
+        Ok(text) => text,
+        Err(_) => return error_response(400, "body is not UTF-8"),
+    };
+    let parsed = match Json::parse(text) {
+        Ok(parsed) => parsed,
+        Err(e) => return error_response(400, &format!("invalid JSON body: {e}")),
+    };
+    let Some(doc) = parsed.get("doc").and_then(Json::as_str) else {
+        return error_response(400, "missing string member \"doc\" (a doc id, or \"*\")");
+    };
+    let Some(items) = parsed.get("patterns").and_then(Json::as_array) else {
+        return error_response(400, "missing array member \"patterns\"");
+    };
+    if items.len() > MAX_PATTERNS {
+        return error_response(413, "too many patterns");
+    }
+    let mut patterns: Vec<&[u8]> = Vec::with_capacity(items.len());
+    for item in items {
+        match item.as_str() {
+            Some(s) => patterns.push(s.as_bytes()),
+            None => return error_response(400, "patterns must be strings"),
+        }
+    }
+
+    if doc == "*" {
+        let fans = catalog.query_all_batch(&patterns, batch_threads);
+        return ok(fan_out_response_json(&patterns, &fans));
+    }
+    match catalog.query_batch(doc, &patterns, batch_threads) {
+        Some(answers) => ok(query_response_json(doc, &patterns, &answers)),
+        None => error_response(404, &format!("no such document {doc:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usi_core::UsiBuilder;
+    use usi_strings::WeightedString;
+
+    fn catalog() -> Catalog {
+        let catalog = Catalog::new(2);
+        let ws = WeightedString::new(b"abracadabra_abracadabra".to_vec(), vec![1.0; 23]).unwrap();
+        let index = UsiBuilder::new().with_k(12).deterministic(42).build(ws);
+        catalog.insert("abra", index);
+        catalog
+    }
+
+    fn parse_bytes(bytes: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut &bytes[..])
+    }
+
+    #[test]
+    fn parses_get_and_post() {
+        let req = parse_bytes(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+
+        let req =
+            parse_bytes(b"POST /v1/query HTTP/1.1\r\nContent-Length: 4\r\nHost: x\r\n\r\nbody")
+                .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"body");
+
+        // query strings are stripped from the path
+        let req = parse_bytes(b"GET /v1/docs?page=2 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/v1/docs");
+    }
+
+    #[test]
+    fn pipelined_bytes_after_the_first_request_are_ignored() {
+        // an HTTP/1.1 client may legally pipeline before seeing our
+        // Connection: close; the first request must still be answered
+        let two = b"GET /healthz HTTP/1.1\r\n\r\nGET /v1/docs HTTP/1.1\r\n\r\n";
+        let req = parse_bytes(two).unwrap();
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+
+        let body_and_more =
+            b"POST /v1/query HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}GET /x HTTP/1.1\r\n\r\n";
+        let req = parse_bytes(body_and_more).unwrap();
+        assert_eq!(req.body, b"{}");
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(matches!(parse_bytes(b"\r\n\r\n"), Err(HttpError::Bad(_))));
+        assert!(matches!(parse_bytes(b"GET\r\n\r\n"), Err(HttpError::Bad(_))));
+        assert!(matches!(parse_bytes(b"GET /x SPDY/9\r\n\r\n"), Err(HttpError::Bad(_))));
+        assert!(matches!(
+            parse_bytes(b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(HttpError::Bad(_))
+        ));
+        assert!(matches!(parse_bytes(b"GET /x HTTP/1.1\r\nno end"), Err(HttpError::Bad(_))));
+        assert!(matches!(parse_bytes(b""), Err(HttpError::Io(_))));
+        let huge = format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        assert!(matches!(parse_bytes(huge.as_bytes()), Err(HttpError::TooLarge)));
+    }
+
+    #[test]
+    fn healthz_and_docs() {
+        let catalog = catalog();
+        let r = respond(&catalog, "GET", "/healthz", b"");
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, r#"{"status":"ok","docs":1}"#);
+
+        let r = respond(&catalog, "GET", "/v1/docs", b"");
+        assert_eq!(r.status, 200);
+        let parsed = Json::parse(&r.body).unwrap();
+        let docs = parsed.get("docs").and_then(Json::as_array).unwrap();
+        assert_eq!(docs.len(), 1);
+        assert_eq!(docs[0].get("id").and_then(Json::as_str), Some("abra"));
+        assert_eq!(docs[0].get("n").and_then(Json::as_f64), Some(23.0));
+    }
+
+    #[test]
+    fn doc_stats_route() {
+        let catalog = catalog();
+        let r = respond(&catalog, "GET", "/v1/docs/abra/stats", b"");
+        assert_eq!(r.status, 200);
+        let parsed = Json::parse(&r.body).unwrap();
+        assert_eq!(parsed.get("n").and_then(Json::as_f64), Some(23.0));
+        assert!(parsed.get("bytes").and_then(|b| b.get("total")).is_some());
+
+        assert_eq!(respond(&catalog, "GET", "/v1/docs/none/stats", b"").status, 404);
+        assert_eq!(respond(&catalog, "GET", "/v1/docs//stats", b"").status, 404);
+        assert_eq!(respond(&catalog, "DELETE", "/v1/docs/abra/stats", b"").status, 405);
+    }
+
+    #[test]
+    fn query_route_single_and_fan_out() {
+        let catalog = catalog();
+        let body = br#"{"doc":"abra","patterns":["abra","zzz"]}"#;
+        let r = respond(&catalog, "POST", "/v1/query", body);
+        assert_eq!(r.status, 200);
+        // "abra" occurs 4 times with unit weights: U = 4·4 = 16
+        let parsed = Json::parse(&r.body).unwrap();
+        let results = parsed.get("results").and_then(Json::as_array).unwrap();
+        assert_eq!(results[0].get("occurrences").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(results[0].get("value").and_then(Json::as_f64), Some(16.0));
+        assert_eq!(results[1].get("occurrences").and_then(Json::as_f64), Some(0.0));
+
+        let r = respond(&catalog, "POST", "/v1/query", br#"{"doc":"*","patterns":["abra"]}"#);
+        assert_eq!(r.status, 200);
+        let parsed = Json::parse(&r.body).unwrap();
+        let results = parsed.get("results").and_then(Json::as_array).unwrap();
+        assert_eq!(results[0].get("occurrences").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(results[0].get("per_doc").and_then(Json::as_array).map(<[Json]>::len), Some(1));
+    }
+
+    #[test]
+    fn query_route_errors() {
+        let catalog = catalog();
+        let bad = [
+            &b"not json"[..],
+            br#"{"patterns":["a"]}"#,
+            br#"{"doc":"abra"}"#,
+            br#"{"doc":"abra","patterns":[1]}"#,
+            b"\xff\xfe",
+        ];
+        for body in bad {
+            assert_eq!(respond(&catalog, "POST", "/v1/query", body).status, 400, "{body:?}");
+        }
+        let r = respond(&catalog, "POST", "/v1/query", br#"{"doc":"gone","patterns":["a"]}"#);
+        assert_eq!(r.status, 404);
+        assert_eq!(respond(&catalog, "GET", "/v1/query", b"").status, 405);
+        assert_eq!(respond(&catalog, "GET", "/nope", b"").status, 404);
+    }
+
+    #[test]
+    fn responses_are_well_formed_http() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response { status: 200, body: "{}".into() }).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn end_to_end_over_a_socket() {
+        let catalog = Arc::new(catalog());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let handle = serve(Arc::clone(&catalog), listener, ServerConfig::with_workers(2)).unwrap();
+        let addr = handle.addr();
+
+        let fetch = |request: String| -> String {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(request.as_bytes()).unwrap();
+            let mut response = String::new();
+            stream.read_to_string(&mut response).unwrap();
+            response
+        };
+
+        let response = fetch(format!("GET /healthz HTTP/1.1\r\nHost: {addr}\r\n\r\n"));
+        assert!(response.starts_with("HTTP/1.1 200"));
+        assert!(response.ends_with(r#"{"status":"ok","docs":1}"#));
+
+        let body = r#"{"doc":"abra","patterns":["abra"]}"#;
+        let response = fetch(format!(
+            "POST /v1/query HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ));
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        assert!(response.contains(r#""occurrences":4"#), "{response}");
+
+        handle.shutdown();
+        // the port is released: a fresh bind to the same address works
+        assert!(TcpListener::bind(addr).is_ok());
+    }
+}

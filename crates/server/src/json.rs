@@ -1,0 +1,538 @@
+//! A minimal JSON value, parser and encoder — just enough for the HTTP
+//! API and the CLI's `--json` output, so the workspace stays free of
+//! registry dependencies.
+//!
+//! Design points:
+//!
+//! * objects preserve insertion order (`Vec<(String, Json)>`), so every
+//!   [`Json`] value has exactly one encoding and responses can be
+//!   compared byte-for-byte in tests;
+//! * numbers are `f64`; integral values in the exactly-representable
+//!   range encode without a fractional part (`24`, not `24.0`), and
+//!   non-finite values encode as `null`;
+//! * the parser is a recursive-descent reader over UTF-8 with a depth
+//!   limit, full string-escape handling (including `\uXXXX` surrogate
+//!   pairs) and precise error offsets.
+
+use crate::catalog::FanOut;
+use std::fmt;
+use usi_core::{QuerySource, UsiQuery};
+
+/// Maximum nesting depth the parser accepts (stack-overflow guard).
+const MAX_DEPTH: usize = 64;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (integers included).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved and duplicate keys are
+    /// kept as-is (lookups return the first).
+    Obj(Vec<(String, Json)>),
+}
+
+/// A parse failure, with the byte offset where it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub message: &'static str,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Convenience constructor: a string value.
+    pub fn str(s: impl Into<String>) -> Self {
+        Json::Str(s.into())
+    }
+
+    /// Convenience constructor: a number from any integer that fits in
+    /// f64's exact range (callers in this crate stay far below 2^53).
+    pub fn num(n: impl Into<f64>) -> Self {
+        Json::Num(n.into())
+    }
+
+    /// Member lookup on objects; `None` for absent keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Parses one JSON document (trailing whitespace allowed, trailing
+    /// garbage rejected).
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(value)
+    }
+
+    /// Encodes the value; the encoding is canonical per value (member
+    /// order is the insertion order).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => write_number(*n, out),
+            Json::Str(s) => write_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_number(n: f64, out: &mut String) {
+    use fmt::Write;
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 9_007_199_254_740_992.0 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        // Rust's shortest-roundtrip Display is valid JSON for finite f64
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------
+// API encodings shared by the HTTP server, the CLI's `--json` mode and
+// the end-to-end tests (one encoder → responses compare byte-for-byte).
+// ---------------------------------------------------------------------
+
+/// The wire name of a query source; matches the CLI's human output.
+pub fn source_name(source: QuerySource) -> &'static str {
+    match source {
+        QuerySource::HashTable => "cached",
+        QuerySource::TextIndex => "computed",
+    }
+}
+
+/// Patterns travel as JSON strings; non-UTF-8 query bytes are replaced
+/// lossily on the way out (they can still be queried byte-exactly).
+pub fn pattern_string(pattern: &[u8]) -> String {
+    String::from_utf8_lossy(pattern).into_owned()
+}
+
+/// One pattern's answer: `{"pattern","occurrences","value","source"}`.
+pub fn query_result_json(pattern: &[u8], q: &UsiQuery) -> Json {
+    Json::Obj(vec![
+        ("pattern".into(), Json::Str(pattern_string(pattern))),
+        ("occurrences".into(), Json::Num(q.occurrences as f64)),
+        ("value".into(), q.value.map_or(Json::Null, Json::Num)),
+        ("source".into(), Json::str(source_name(q.source))),
+    ])
+}
+
+/// One pattern's fan-out answer: corpus-wide totals plus a `per_doc`
+/// array of per-document answers.
+pub fn fan_out_json(pattern: &[u8], fan: &FanOut) -> Json {
+    let per_doc = fan
+        .per_doc
+        .iter()
+        .map(|(doc, q)| {
+            Json::Obj(vec![
+                ("doc".into(), Json::str(doc.clone())),
+                ("occurrences".into(), Json::Num(q.occurrences as f64)),
+                ("value".into(), q.value.map_or(Json::Null, Json::Num)),
+                ("source".into(), Json::str(source_name(q.source))),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("pattern".into(), Json::Str(pattern_string(pattern))),
+        ("occurrences".into(), Json::Num(fan.total_occurrences as f64)),
+        ("value".into(), fan.total_value.map_or(Json::Null, Json::Num)),
+        ("per_doc".into(), Json::Arr(per_doc)),
+    ])
+}
+
+/// The `POST /v1/query` response body for a single-document query.
+pub fn query_response_json(doc: &str, patterns: &[&[u8]], answers: &[UsiQuery]) -> Json {
+    let results =
+        patterns.iter().zip(answers).map(|(p, q)| query_result_json(p, q)).collect::<Vec<_>>();
+    Json::Obj(vec![("doc".into(), Json::str(doc)), ("results".into(), Json::Arr(results))])
+}
+
+/// The `POST /v1/query` response body for a `"doc": "*"` fan-out query.
+pub fn fan_out_response_json(patterns: &[&[u8]], fans: &[FanOut]) -> Json {
+    let results =
+        patterns.iter().zip(fans).map(|(p, fan)| fan_out_json(p, fan)).collect::<Vec<_>>();
+    Json::Obj(vec![("doc".into(), Json::str("*")), ("results".into(), Json::Arr(results))])
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &'static str) -> JsonError {
+        JsonError { message, offset: self.pos }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8, message: &'static str) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(message))
+        }
+    }
+
+    fn literal(&mut self, word: &'static str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.pos += 1; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.pos += 1; // '{'
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected object key"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':', "expected ':'")?;
+            self.skip_ws();
+            members.push((key, self.value(depth + 1)?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u16, JsonError> {
+        let mut v: u16 = 0;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(b @ b'0'..=b'9') => b - b'0',
+                Some(b @ b'a'..=b'f') => b - b'a' + 10,
+                Some(b @ b'A'..=b'F') => b - b'A' + 10,
+                _ => return Err(self.err("invalid \\u escape")),
+            };
+            v = v << 4 | d as u16;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.pos += 1; // opening quote
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{08}'),
+                        Some(b'f') => s.push('\u{0c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // high surrogate: must be followed by \uDC00..DFFF
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                self.pos += 1;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                let cp =
+                                    0x10000 + ((hi as u32 - 0xD800) << 10) + (lo as u32 - 0xDC00);
+                                char::from_u32(cp).ok_or_else(|| self.err("invalid code point"))?
+                            } else {
+                                char::from_u32(hi as u32)
+                                    .ok_or_else(|| self.err("unpaired surrogate"))?
+                            };
+                            s.push(c);
+                            continue; // hex4 already advanced past the digits
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => return Err(self.err("control character in string")),
+                Some(_) => {
+                    // copy one UTF-8 scalar (input is a &str: boundaries are valid)
+                    let start = self.pos;
+                    let mut end = start + 1;
+                    while end < self.bytes.len() && self.bytes[end] & 0b1100_0000 == 0b1000_0000 {
+                        end += 1;
+                    }
+                    s.push_str(std::str::from_utf8(&self.bytes[start..end]).unwrap());
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        match text.parse::<f64>() {
+            Ok(n) if n.is_finite() => Ok(Json::Num(n)),
+            _ => {
+                self.pos = start;
+                Err(self.err("invalid number"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(src: &str) -> String {
+        Json::parse(src).unwrap().encode()
+    }
+
+    #[test]
+    fn scalars() {
+        assert_eq!(roundtrip("null"), "null");
+        assert_eq!(roundtrip("true"), "true");
+        assert_eq!(roundtrip("false"), "false");
+        assert_eq!(roundtrip("42"), "42");
+        assert_eq!(roundtrip("-3.25"), "-3.25");
+        assert_eq!(roundtrip("1e3"), "1000");
+        assert_eq!(roundtrip("\"hi\""), "\"hi\"");
+    }
+
+    #[test]
+    fn containers_preserve_order() {
+        assert_eq!(roundtrip(r#"{"b":1,"a":[2,{"z":null}]}"#), r#"{"b":1,"a":[2,{"z":null}]}"#);
+        assert_eq!(roundtrip("[]"), "[]");
+        assert_eq!(roundtrip("{}"), "{}");
+        assert_eq!(roundtrip(" [ 1 , 2 ] "), "[1,2]");
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(Json::parse(r#""a\nb\t\"\\A""#).unwrap(), Json::str("a\nb\t\"\\A"));
+        assert_eq!(Json::str("a\nb").encode(), r#""a\nb""#);
+        assert_eq!(Json::str("\u{1}").encode(), "\"\\u0001\"");
+        // surrogate pair: 𝄞 (U+1D11E)
+        assert_eq!(Json::parse(r#""𝄞""#).unwrap(), Json::str("\u{1D11E}"));
+        assert!(Json::parse(r#""\uD834""#).is_err());
+        // non-ASCII passes through unescaped
+        assert_eq!(roundtrip("\"héllo\""), "\"héllo\"");
+    }
+
+    #[test]
+    fn numbers_encode_integrally_when_integral() {
+        assert_eq!(Json::Num(24.0).encode(), "24");
+        assert_eq!(Json::Num(14.6).encode(), "14.6");
+        assert_eq!(Json::Num(-0.5).encode(), "-0.5");
+        assert_eq!(Json::Num(f64::NAN).encode(), "null");
+        // huge magnitudes stay parseable and round-trip exactly
+        assert_eq!(Json::parse(&Json::Num(1e300).encode()).unwrap(), Json::Num(1e300));
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{\"a\" 1}").is_err());
+        assert!(Json::parse("tru").is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        assert!(Json::parse("01a").is_err());
+        let err = Json::parse("[nope]").unwrap_err();
+        assert_eq!(err.offset, 1);
+        // depth guard
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(Json::parse(&deep).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Json::parse(r#"{"doc":"*","patterns":["a","b"],"n":3}"#).unwrap();
+        assert_eq!(v.get("doc").and_then(Json::as_str), Some("*"));
+        assert_eq!(v.get("n").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(v.get("patterns").and_then(Json::as_array).map(<[Json]>::len), Some(2));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Json::Null.get("doc"), None);
+    }
+}

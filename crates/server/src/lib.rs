@@ -1,0 +1,39 @@
+//! `usi_server` — the serving layer for Useful String Indexing: many
+//! [`UsiIndex`](usi_core::UsiIndex)es behind one long-running process.
+//!
+//! The crate is dependency-free (std only, like the rest of the
+//! workspace) and splits into three layers:
+//!
+//! * [`catalog`] — a sharded multi-index registry ([`Catalog`]): loads
+//!   `.usix` files or in-process builds, routes queries by document id,
+//!   fans out across every document, and spreads batches over
+//!   `std::thread::scope` workers;
+//! * [`json`] — a hand-rolled JSON value/parser/encoder plus the API
+//!   encodings shared by the server, the CLI's `--json` mode and the
+//!   end-to-end tests;
+//! * [`http`] / [`pool`] — a minimal HTTP/1.1 front end on
+//!   `std::net::TcpListener` with a fixed-size worker pool and graceful
+//!   shutdown.
+//!
+//! ```no_run
+//! use std::net::TcpListener;
+//! use std::sync::Arc;
+//! use usi_server::{serve, Catalog, ServerConfig};
+//!
+//! let catalog = Arc::new(Catalog::new(8));
+//! catalog.load_path(std::path::Path::new("indexes/")).unwrap();
+//! let listener = TcpListener::bind("127.0.0.1:7878").unwrap();
+//! let handle = serve(catalog, listener, ServerConfig::with_workers(4)).unwrap();
+//! println!("listening on {}", handle.addr());
+//! // … handle.shutdown() stops accepting and joins every thread
+//! ```
+
+pub mod catalog;
+pub mod http;
+pub mod json;
+pub mod pool;
+
+pub use catalog::{Catalog, CatalogError, Doc, FanOut};
+pub use http::{respond, serve, Response, ServerConfig, ServerHandle};
+pub use json::{Json, JsonError};
+pub use pool::WorkerPool;

@@ -1,0 +1,109 @@
+//! A fixed-size worker pool over `std::sync::mpsc` (no external
+//! dependencies): the accept loop hands each connection to the pool,
+//! workers pull jobs off a shared channel.
+//!
+//! Shutdown is cooperative: dropping the pool drops the sender, each
+//! worker drains the jobs already queued and exits when the channel
+//! disconnects, and `Drop` joins them — so no in-flight request is cut
+//! off mid-response.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of named worker threads.
+pub struct WorkerPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `size` workers (clamped to ≥ 1).
+    pub fn new(size: usize) -> Self {
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..size.max(1))
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("usi-worker-{i}"))
+                    .spawn(move || worker_loop(&receiver))
+                    .expect("spawning worker thread")
+            })
+            .collect();
+        Self { sender: Some(sender), workers }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Queues one job; some idle worker will run it. Jobs submitted
+    /// after shutdown began are silently dropped.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        if let Some(sender) = &self.sender {
+            // send only fails when every worker is gone (shutdown race)
+            let _ = sender.send(Box::new(job));
+        }
+    }
+}
+
+fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
+    loop {
+        // hold the lock only to pull the next job, not to run it
+        let job = match receiver.lock() {
+            Ok(rx) => rx.recv(),
+            Err(_) => return,
+        };
+        match job {
+            Ok(job) => job(),
+            Err(_) => return, // channel disconnected: shutdown
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.sender = None; // disconnect the channel
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_job_before_drop_returns() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.size(), 4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool);
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn zero_size_is_clamped() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.size(), 1);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::clone(&ran);
+        pool.execute(move || {
+            flag.store(7, Ordering::SeqCst);
+        });
+        drop(pool);
+        assert_eq!(ran.load(Ordering::SeqCst), 7);
+    }
+}

@@ -4,20 +4,27 @@
 //! usi build <text-file> [--weights FILE | --uniform W] [--k K | --tau T]
 //!           [--approx S] [--agg sum|min|max|avg|count] [--local sum|product]
 //!           [--seed N] -o OUT.usix
-//! usi query <OUT.usix> <pattern> [<pattern>…]
+//! usi query <OUT.usix> <pattern> [<pattern>…] [--json]
 //! usi stats <OUT.usix>
 //! usi topk  <text-file> --k K [--min-len L]
 //! usi tradeoff <text-file> [--points N]
+//! usi serve <dir-or-.usix>… [--addr HOST:PORT] [--workers N] [--shards N]
 //! ```
 //!
 //! Weights default to 1.0 per position; `--weights` reads
-//! whitespace-separated floats (one per text byte).
+//! whitespace-separated floats (one per text byte). `serve` runs the
+//! HTTP serving layer over every loaded index until stdin reaches EOF
+//! (or the process receives SIGINT).
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::TcpListener;
+use std::path::Path;
 use std::process::exit;
+use std::sync::Arc;
 use usi::core::oracle::TopKOracle;
 use usi::prelude::*;
+use usi::server::json::query_result_json;
 use usi::strings::text::display_bytes;
 use usi::strings::LocalWindow;
 
@@ -60,6 +67,10 @@ struct Args {
     flags: Vec<(String, Option<String>)>,
 }
 
+/// Flags that never take a value (so `--json idx.usix` does not swallow
+/// the index path as the flag's value).
+const BOOLEAN_FLAGS: &[&str] = &["json"];
+
 impl Args {
     fn parse(raw: &[String]) -> Self {
         let mut positional = Vec::new();
@@ -67,7 +78,11 @@ impl Args {
         let mut i = 0;
         while i < raw.len() {
             if let Some(name) = raw[i].strip_prefix("--") {
-                let value = raw.get(i + 1).filter(|v| !v.starts_with("--")).cloned();
+                let value = if BOOLEAN_FLAGS.contains(&name) {
+                    None
+                } else {
+                    raw.get(i + 1).filter(|v| !v.starts_with("--")).cloned()
+                };
                 if value.is_some() {
                     i += 1;
                 }
@@ -88,7 +103,6 @@ impl Args {
         self.flags.iter().find(|(n, _)| n == name).and_then(|(_, v)| v.as_deref())
     }
 
-    #[allow(dead_code)]
     fn has(&self, name: &str) -> bool {
         self.flags.iter().any(|(n, _)| n == name)
     }
@@ -182,20 +196,76 @@ fn cmd_query(args: &Args) {
     }
     let index = load_index(&args.positional[0]);
     let agg = index.utility().aggregator;
+    let json = args.has("json");
     for pattern in &args.positional[1..] {
         let q = index.query(pattern.as_bytes());
-        println!(
-            "{}\t{}\t{}\t{}",
-            pattern,
-            q.occurrences,
-            q.value.map_or("n/a".into(), |v| format!("{v}")),
-            match q.source {
-                QuerySource::HashTable => "cached",
-                QuerySource::TextIndex => "computed",
-            }
-        );
+        if json {
+            // one JSON object per pattern, same encoding as the server
+            println!("{}", query_result_json(pattern.as_bytes(), &q).encode());
+        } else {
+            println!(
+                "{}\t{}\t{}\t{}",
+                pattern,
+                q.occurrences,
+                q.value.map_or("n/a".into(), |v| format!("{v}")),
+                match q.source {
+                    QuerySource::HashTable => "cached",
+                    QuerySource::TextIndex => "computed",
+                }
+            );
+        }
     }
-    eprintln!("aggregator: {}", agg.name());
+    if !json {
+        eprintln!("aggregator: {}", agg.name());
+    }
+}
+
+fn cmd_serve(args: &Args) {
+    if args.positional.is_empty() {
+        die("serve expects at least one .usix file or directory of .usix files");
+    }
+    let shards: usize =
+        args.flag("shards").map_or(8, |s| s.parse().unwrap_or_else(|_| die("bad --shards")));
+    let workers: usize =
+        args.flag("workers").map_or(4, |s| s.parse().unwrap_or_else(|_| die("bad --workers")));
+    let addr = args.flag("addr").unwrap_or("127.0.0.1:7878");
+
+    let catalog = Arc::new(Catalog::new(shards));
+    let mut seen = std::collections::HashSet::new();
+    for path in &args.positional {
+        let ids = catalog
+            .load_path(Path::new(path))
+            .unwrap_or_else(|e| die(&format!("cannot load {path}: {e}")));
+        for id in &ids {
+            // ids are file stems; a collision would silently shadow the
+            // earlier index, so refuse to serve ambiguous corpora
+            if !seen.insert(id.clone()) {
+                die(&format!("duplicate document id {id:?} (file stems must be unique)"));
+            }
+            let doc = catalog.get(id).expect("just loaded");
+            eprintln!("loaded {id}: n = {}", doc.index().text().len());
+        }
+    }
+    if catalog.is_empty() {
+        die("no .usix indexes found to serve");
+    }
+
+    let listener =
+        TcpListener::bind(addr).unwrap_or_else(|e| die(&format!("cannot bind {addr}: {e}")));
+    let handle =
+        usi::server::serve(Arc::clone(&catalog), listener, ServerConfig::with_workers(workers))
+            .unwrap_or_else(|e| die(&format!("cannot start server: {e}")));
+    eprintln!(
+        "serving {} doc(s) on http://{} with {workers} worker(s); stdin EOF or SIGINT stops",
+        catalog.len(),
+        handle.addr()
+    );
+
+    // Block until the controlling input closes, then shut down
+    // gracefully (SIGINT terminates the process the default way).
+    let _ = std::io::copy(&mut std::io::stdin().lock(), &mut std::io::sink());
+    eprintln!("stdin closed, shutting down");
+    handle.shutdown();
 }
 
 fn cmd_stats(args: &Args) {
@@ -263,7 +333,7 @@ fn cmd_tradeoff(args: &Args) {
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = raw.first().cloned() else {
-        die("usage: usi <build|query|stats|topk|tradeoff> …");
+        die("usage: usi <build|query|stats|topk|tradeoff|serve> …");
     };
     let args = Args::parse(&raw[1..]);
     match command.as_str() {
@@ -272,6 +342,7 @@ fn main() {
         "stats" => cmd_stats(&args),
         "topk" => cmd_topk(&args),
         "tradeoff" => cmd_tradeoff(&args),
+        "serve" => cmd_serve(&args),
         other => die(&format!("unknown command {other}")),
     }
 }
