@@ -1,0 +1,192 @@
+//! Nightly perf-regression gate.
+//!
+//! Reads the JSON-lines file the vendored criterion shim appends when
+//! `CRITERION_JSON` is set, compares each benchmark's median against the
+//! checked-in baselines, and fails (exit 1) when any tracked benchmark
+//! regressed by more than the margin — perf changes must be deliberate.
+//!
+//! ```text
+//! bench_gate --current reports/criterion.jsonl \
+//!            --thresholds ci/nightly-thresholds.json \
+//!            [--margin 0.15] [--report reports/nightly-report.json]
+//! bench_gate --current reports/criterion.jsonl \
+//!            --thresholds ci/nightly-thresholds.json --update
+//! ```
+//!
+//! * a benchmark listed in the thresholds but absent from the current
+//!   run is a failure too (a silently deleted benchmark is regression
+//!   rot, not a pass);
+//! * benchmarks present in the run but not in the thresholds are
+//!   reported as `untracked` and do not fail the gate;
+//! * `--update` merges the current medians into the thresholds file —
+//!   benches absent from the current run keep their old baselines, so a
+//!   partial bench run cannot silently drop benchmarks from tracking
+//!   (the calibration path for deliberate changes);
+//! * `--report` writes the full comparison as JSON — the artifact the
+//!   nightly workflow uploads.
+
+use std::collections::BTreeMap;
+use std::process::exit;
+use usi_server::json::Json;
+
+fn die(msg: &str) -> ! {
+    eprintln!("bench_gate: {msg}");
+    exit(2);
+}
+
+fn read_arg(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .map(|i| args.get(i + 1).unwrap_or_else(|| die(&format!("{name} needs a value"))).clone())
+}
+
+/// Parses the shim's JSON-lines output. Re-runs append, so the last
+/// occurrence of a name wins (it is the most recent measurement).
+fn read_current(path: &str) -> BTreeMap<String, f64> {
+    let data =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    let mut medians = BTreeMap::new();
+    for (lineno, line) in data.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value =
+            Json::parse(line).unwrap_or_else(|e| die(&format!("{path}:{}: {e}", lineno + 1)));
+        let name = value
+            .get("name")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| die(&format!("{path}:{}: missing \"name\"", lineno + 1)));
+        let median = value
+            .get("median_ns")
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| die(&format!("{path}:{}: missing \"median_ns\"", lineno + 1)));
+        medians.insert(name.to_string(), median);
+    }
+    if medians.is_empty() {
+        die(&format!("{path} holds no benchmark results — did the bench run with CRITERION_JSON?"));
+    }
+    medians
+}
+
+fn read_thresholds(path: &str) -> BTreeMap<String, f64> {
+    let data =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    let value = Json::parse(&data).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+    let Json::Obj(members) = value else {
+        die(&format!("{path}: expected a JSON object of name → median_ns"));
+    };
+    members
+        .into_iter()
+        .map(|(name, v)| {
+            let ns = v.as_f64().unwrap_or_else(|| die(&format!("{path}: {name} is not a number")));
+            (name, ns)
+        })
+        .collect()
+}
+
+fn write_thresholds(path: &str, medians: &BTreeMap<String, f64>) {
+    let obj = Json::Obj(
+        medians.iter().map(|(name, &ns)| (name.clone(), Json::Num(ns.round()))).collect(),
+    );
+    std::fs::write(path, obj.encode() + "\n")
+        .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+    println!("bench_gate: wrote {} baselines to {path}", medians.len());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let current_path =
+        read_arg(&args, "--current").unwrap_or_else(|| die("--current FILE is required"));
+    let thresholds_path =
+        read_arg(&args, "--thresholds").unwrap_or_else(|| die("--thresholds FILE is required"));
+    let margin: f64 = read_arg(&args, "--margin")
+        .map_or(0.15, |m| m.parse().unwrap_or_else(|_| die("bad --margin")));
+    let report_path = read_arg(&args, "--report");
+    let update = args.iter().any(|a| a == "--update");
+
+    let current = read_current(&current_path);
+    if update {
+        // merge: benches not in this run keep their existing baselines
+        let mut merged = if std::path::Path::new(&thresholds_path).exists() {
+            read_thresholds(&thresholds_path)
+        } else {
+            BTreeMap::new()
+        };
+        merged.extend(current);
+        write_thresholds(&thresholds_path, &merged);
+        return;
+    }
+    let thresholds = read_thresholds(&thresholds_path);
+
+    let mut results: Vec<Json> = Vec::new();
+    let mut failures = 0usize;
+    println!(
+        "{:<52} {:>14} {:>14} {:>7}  status (margin {:.0}%)",
+        "benchmark",
+        "median_ns",
+        "baseline_ns",
+        "ratio",
+        margin * 100.0
+    );
+    for (name, &baseline) in &thresholds {
+        let (status, detail) = match current.get(name) {
+            None => {
+                failures += 1;
+                ("missing", Json::Null)
+            }
+            Some(&median) => {
+                let ratio = if baseline > 0.0 { median / baseline } else { f64::INFINITY };
+                let status = if ratio > 1.0 + margin {
+                    failures += 1;
+                    "regressed"
+                } else {
+                    "ok"
+                };
+                println!("{name:<52} {median:>14.0} {baseline:>14.0} {ratio:>7.3}  {status}");
+                (status, Json::Num(ratio))
+            }
+        };
+        if status == "missing" {
+            println!("{name:<52} {:>14} {baseline:>14.0} {:>7}  missing", "-", "-");
+        }
+        results.push(Json::Obj(vec![
+            ("name".into(), Json::str(name.clone())),
+            ("median_ns".into(), current.get(name).map_or(Json::Null, |&m| Json::Num(m))),
+            ("baseline_ns".into(), Json::Num(baseline)),
+            ("ratio".into(), detail),
+            ("status".into(), Json::str(status)),
+        ]));
+    }
+    for (name, &median) in &current {
+        if !thresholds.contains_key(name) {
+            println!("{name:<52} {median:>14.0} {:>14} {:>7}  untracked", "-", "-");
+            results.push(Json::Obj(vec![
+                ("name".into(), Json::str(name.clone())),
+                ("median_ns".into(), Json::Num(median)),
+                ("baseline_ns".into(), Json::Null),
+                ("ratio".into(), Json::Null),
+                ("status".into(), Json::str("untracked")),
+            ]));
+        }
+    }
+
+    if let Some(path) = report_path {
+        let report = Json::Obj(vec![
+            ("margin".into(), Json::Num(margin)),
+            ("failures".into(), Json::num(failures as u32)),
+            ("results".into(), Json::Arr(results)),
+        ]);
+        std::fs::write(&path, report.encode() + "\n")
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        println!("bench_gate: report written to {path}");
+    }
+
+    if failures > 0 {
+        eprintln!(
+            "bench_gate: {failures} benchmark(s) regressed past the {:.0}% margin",
+            margin * 100.0
+        );
+        exit(1);
+    }
+    println!("bench_gate: all {} tracked benchmarks within margin", thresholds.len());
+}

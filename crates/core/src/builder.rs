@@ -14,7 +14,27 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
 use usi_strings::{Fingerprinter, GlobalAggregator, GlobalUtility, LocalWindow, WeightedString};
-use usi_suffix::{lcp_array, suffix_array, LceBackend};
+use usi_suffix::{lcp_array_threads, suffix_array_threads, LceBackend};
+
+/// Build-time execution options, orthogonal to the indexing parameters
+/// (`K`/`τ`, strategy, utility): how the construction runs rather than
+/// what it builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuildOptions {
+    /// Worker threads for construction (1 = fully sequential, the
+    /// default). Parallelises the suffix-array and LCP builds, the
+    /// oracle's radix phases and the phase-(ii) sliding-window passes
+    /// over `std::thread::scope` workers. **The output is byte-identical
+    /// to a single-threaded build for every thread count** — the CI
+    /// determinism gate `cmp`s the resulting `.usix` files.
+    pub threads: usize,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        Self { threads: 1 }
+    }
+}
 
 /// How phase (i) obtains the top-K frequent substrings.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,8 +78,8 @@ pub struct UsiBuilder {
     strategy: TopKStrategy,
     aggregator: GlobalAggregator,
     local: LocalWindow,
-    /// Worker threads for phase (ii) (1 = sequential, the default).
-    threads: usize,
+    /// Execution options (thread count).
+    options: BuildOptions,
     /// `Some(seed)` → deterministic fingerprints; `None` → thread RNG.
     seed: Option<u64>,
 }
@@ -79,7 +99,7 @@ impl UsiBuilder {
             strategy: TopKStrategy::Exact,
             aggregator: GlobalAggregator::Sum,
             local: LocalWindow::Sum,
-            threads: 1,
+            options: BuildOptions::default(),
             seed: None,
         }
     }
@@ -123,16 +143,26 @@ impl UsiBuilder {
         self
     }
 
-    /// Runs phase (ii) with up to `threads` workers (the `L_K` length
-    /// passes are independent; output is identical to sequential).
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+    /// Sets the execution options wholesale.
+    pub fn with_options(mut self, options: BuildOptions) -> Self {
+        self.options = BuildOptions { threads: options.threads.max(1) };
         self
     }
 
-    /// Builds the index over `ws`, running all three phases.
+    /// Runs construction with up to `threads` workers: the suffix-array
+    /// and LCP builds, the oracle's radix phases and the `L_K`
+    /// phase-(ii) length passes all fan out over a scoped pool. Output
+    /// is byte-identical to a sequential build.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.options.threads = threads.max(1);
+        self
+    }
+
+    /// Builds the index over `ws`, running all three phases with up to
+    /// [`BuildOptions::threads`] workers.
     pub fn build(&self, ws: WeightedString) -> UsiIndex {
         let n = ws.len();
+        let threads = self.options.threads;
         let fingerprinter = match self.seed {
             Some(seed) => Fingerprinter::new(&mut StdRng::seed_from_u64(seed)),
             None => Fingerprinter::new(&mut rand::thread_rng()),
@@ -142,7 +172,7 @@ impl UsiBuilder {
         // Phase (iii) structures first: SA is shared by phase (i), and
         // PSW is needed by phase (ii)'s sliding window.
         let t0 = Instant::now();
-        let sa = suffix_array(ws.text());
+        let sa = suffix_array_threads(ws.text(), threads);
         let psw = utility.local_index(ws.weights());
         let phase_index = t0.elapsed();
 
@@ -151,8 +181,8 @@ impl UsiBuilder {
         let need_oracle =
             matches!(self.strategy, TopKStrategy::Exact) || matches!(self.size, SizeParam::Tau(_));
         let oracle = if need_oracle {
-            let lcp = lcp_array(ws.text(), &sa);
-            Some(TopKOracle::new(n, &sa, &lcp))
+            let lcp = lcp_array_threads(ws.text(), &sa, threads);
+            Some(TopKOracle::new_threads(n, &sa, &lcp, threads))
         } else {
             None
         };
@@ -191,16 +221,14 @@ impl UsiBuilder {
         // Phase (ii): populate H with one sliding-window pass per length.
         let t2 = Instant::now();
         let (h, distinct_lengths) = match &mined {
-            Mined::Triplets(items) if self.threads > 1 => {
-                UsiIndex::populate_from_triplets_parallel(
-                    ws.text(),
-                    &sa,
-                    &psw,
-                    &fingerprinter,
-                    items,
-                    self.threads,
-                )
-            }
+            Mined::Triplets(items) if threads > 1 => UsiIndex::populate_from_triplets_parallel(
+                ws.text(),
+                &sa,
+                &psw,
+                &fingerprinter,
+                items,
+                threads,
+            ),
             Mined::Triplets(items) => {
                 UsiIndex::populate_from_triplets(ws.text(), &sa, &psw, &fingerprinter, items)
             }

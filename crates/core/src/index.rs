@@ -308,12 +308,7 @@ impl UsiIndex {
         h.reserve(items.len());
 
         // Radix-style grouping by length.
-        let mut by_len: FxHashMap<u32, Vec<&TopKSubstring>> = FxHashMap::default();
-        for item in items {
-            by_len.entry(item.len).or_default().push(item);
-        }
-        let mut lengths: Vec<u32> = by_len.keys().copied().collect();
-        lengths.sort_unstable();
+        let (lengths, by_len) = crate::topk::group_by_length(items);
 
         let mut bits = vec![0u64; n.div_ceil(64)];
         for &len in &lengths {
@@ -354,12 +349,7 @@ impl UsiIndex {
         threads: usize,
     ) -> (FxHashMap<HKey, UtilityAccumulator>, usize) {
         let threads = threads.max(1);
-        let mut by_len: FxHashMap<u32, Vec<&TopKSubstring>> = FxHashMap::default();
-        for item in items {
-            by_len.entry(item.len).or_default().push(item);
-        }
-        let mut lengths: Vec<u32> = by_len.keys().copied().collect();
-        lengths.sort_unstable();
+        let (lengths, by_len) = crate::topk::group_by_length(items);
         let num_lengths = lengths.len();
         if threads == 1 || num_lengths <= 1 {
             return Self::populate_from_triplets(text, sa, psw, fingerprinter, items);

@@ -33,7 +33,7 @@ pub mod persist;
 pub mod topk;
 
 pub use approx::{approximate_top_k, ApproxConfig, ApproxResult};
-pub use builder::{TopKStrategy, UsiBuilder};
+pub use builder::{BuildOptions, TopKStrategy, UsiBuilder};
 pub use dynamic::DynamicUsi;
 pub use index::{BuildStats, QuerySource, UsiIndex, UsiQuery};
 pub use oracle::{exact_top_k, TopKOracle, TradeoffPoint, TuneForK, TuneForTau};

@@ -82,8 +82,16 @@ pub struct TopKOracle {
 impl TopKOracle {
     /// Builds the oracle from a text's suffix and LCP arrays. `O(n)`.
     pub fn new(text_len: usize, sa: &[u32], lcp: &[u32]) -> Self {
+        Self::new_threads(text_len, sa, lcp, 1)
+    }
+
+    /// [`TopKOracle::new`] with the radix-sort counting phases fanned
+    /// over up to `threads` scoped workers (the lcp-interval enumeration
+    /// is a sequential stack sweep and stays serial). The resulting
+    /// oracle is identical to the single-threaded one.
+    pub fn new_threads(text_len: usize, sa: &[u32], lcp: &[u32], threads: usize) -> Self {
         let nodes = lcp_intervals(lcp, |i| (text_len - sa[i] as usize) as u32, true);
-        Self::from_nodes(nodes, text_len)
+        Self::from_nodes_threads(nodes, text_len, threads)
     }
 
     /// Builds SA and LCP internally, then the oracle.
@@ -97,8 +105,17 @@ impl TopKOracle {
     /// Builds from pre-enumerated suffix-tree nodes (shared with the
     /// sparse per-round accounting of Approximate-Top-K). `max_freq`
     /// bounds frequencies for the radix sort (`n` for a full text).
-    pub fn from_nodes(mut nodes: Vec<LcpInterval>, max_freq: usize) -> Self {
-        radix_sort_nodes(&mut nodes, max_freq);
+    pub fn from_nodes(nodes: Vec<LcpInterval>, max_freq: usize) -> Self {
+        Self::from_nodes_threads(nodes, max_freq, 1)
+    }
+
+    /// [`TopKOracle::from_nodes`] with parallel radix counting phases.
+    pub fn from_nodes_threads(
+        mut nodes: Vec<LcpInterval>,
+        max_freq: usize,
+        threads: usize,
+    ) -> Self {
+        radix_sort_nodes(&mut nodes, max_freq, threads);
         let entries: Vec<OracleEntry> = nodes
             .iter()
             .map(|n| OracleEntry {
@@ -245,22 +262,68 @@ impl HeapSize for TopKOracle {
     }
 }
 
+/// Below this node count the scoped-thread counting phases cost more
+/// than they save.
+const PARALLEL_COUNT_MIN: usize = 1 << 14;
+
 /// Stable two-pass radix sort of suffix-tree nodes by
 /// (frequency descending, string depth ascending), as the paper's `O(n)`
 /// radix sort of `T`. Counting sorts: depth ascending first, then
 /// frequency descending (stability preserves the depth order within equal
-/// frequencies).
-fn radix_sort_nodes(nodes: &mut [LcpInterval], max_freq: usize) {
+/// frequencies). With `threads > 1` the histogram of each pass is
+/// accumulated blockwise on scoped workers and merged; the stable
+/// scatter stays sequential, so the permutation — and hence the oracle —
+/// is identical at every thread count.
+fn radix_sort_nodes(nodes: &mut [LcpInterval], max_freq: usize, threads: usize) {
     if nodes.len() <= 1 {
         return;
     }
+    // Blockwise histogram: `bucket_of` maps a node to its bucket.
+    let histogram = |buckets: usize,
+                     bucket_of: &(dyn Fn(&LcpInterval) -> usize + Sync),
+                     nodes: &[LcpInterval]|
+     -> Vec<u32> {
+        let mut count = vec![0u32; buckets];
+        // Parallel counting only pays off when the per-worker bucket
+        // allocations and the serial merge (threads × buckets adds) are
+        // small next to the counting itself — on a full-text oracle
+        // max_freq ≈ n, so wide-bucket passes must stay serial.
+        if threads <= 1
+            || nodes.len() < PARALLEL_COUNT_MIN
+            || buckets.saturating_mul(threads) >= nodes.len()
+        {
+            for n in nodes {
+                count[bucket_of(n)] += 1;
+            }
+            return count;
+        }
+        let chunk = nodes.len().div_ceil(threads);
+        let partials: Vec<Vec<u32>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = nodes
+                .chunks(chunk)
+                .map(|block| {
+                    scope.spawn(move || {
+                        let mut local = vec![0u32; buckets];
+                        for n in block {
+                            local[bucket_of(n)] += 1;
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("histogram worker panicked")).collect()
+        });
+        for local in partials {
+            for (c, l) in count.iter_mut().zip(local) {
+                *c += l;
+            }
+        }
+        count
+    };
     let max_depth = nodes.iter().map(|n| n.depth).max().unwrap_or(0) as usize;
 
     // Pass 1: stable counting sort by depth ascending.
-    let mut count = vec![0u32; max_depth + 2];
-    for n in nodes.iter() {
-        count[n.depth as usize + 1] += 1;
-    }
+    let mut count = histogram(max_depth + 2, &|n| n.depth as usize + 1, nodes);
     for i in 1..count.len() {
         count[i] += count[i - 1];
     }
@@ -272,11 +335,8 @@ fn radix_sort_nodes(nodes: &mut [LcpInterval], max_freq: usize) {
     }
 
     // Pass 2: stable counting sort by frequency descending.
-    let mut count = vec![0u32; max_freq + 2];
-    for n in &tmp {
-        // bucket by (max_freq − freq) to sort descending
-        count[max_freq - n.freq() as usize + 1] += 1;
-    }
+    // (bucket by max_freq − freq to sort descending)
+    let mut count = histogram(max_freq + 2, &|n| max_freq - n.freq() as usize + 1, &tmp);
     for i in 1..count.len() {
         count[i] += count[i - 1];
     }

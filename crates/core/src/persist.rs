@@ -15,6 +15,9 @@
 //! [u32]  suffix array (n)          — PSW is recomputed on load
 //! u64    |H|
 //! |H| ×  (u32 len, u64 fp, f64 sum, f64 min, f64 max, u64 count)
+//!        — sorted by (len, fp), so the encoding is canonical: indexes
+//!          with equal contents serialise to identical bytes no matter
+//!          how (or on how many threads) they were built
 //! u64    k_requested; u64 k_stored; u32 tau (u32::MAX = none); u64 L_K
 //! ```
 //!
@@ -118,7 +121,13 @@ impl UsiIndex {
         }
         let h = self.hash_table();
         w.u64(h.len() as u64)?;
-        for (&(len, fp), acc) in h {
+        // Canonical entry order: hash-map iteration order depends on
+        // insertion history (serial vs sharded-parallel populate), so
+        // sort by key to make equal indexes serialise to equal bytes —
+        // the CI determinism gate `cmp`s serial and parallel builds.
+        let mut entries: Vec<(&(u32, u64), &UtilityAccumulator)> = h.iter().collect();
+        entries.sort_unstable_by_key(|(key, _)| **key);
+        for (&(len, fp), acc) in entries {
             let (sum, min, max, count) = acc.to_raw();
             w.u32(len)?;
             w.u64(fp)?;

@@ -1,0 +1,104 @@
+//! Parallel/serial build equivalence: for every input and thread count,
+//! `UsiBuilder::with_threads(k)` must produce an index whose `USIX`
+//! serialisation is **byte-identical** to the single-threaded build.
+//! This is the same invariant the CI smoke job enforces with `cmp` on
+//! the CLI's `.usix` output, checked here at property-test granularity
+//! (including the degenerate inputs the CLI fixture cannot cover).
+
+use proptest::prelude::*;
+use usi_core::{BuildOptions, UsiBuilder, UsiIndex};
+use usi_strings::WeightedString;
+
+/// Serialises a build at the given thread count.
+fn usix_bytes(ws: &WeightedString, k: usize, threads: usize) -> Vec<u8> {
+    let index = UsiBuilder::new()
+        .with_k(k)
+        .with_options(BuildOptions { threads })
+        .deterministic(0xfeed)
+        .build(ws.clone());
+    let mut buf = Vec::new();
+    index.write_to(&mut buf).expect("in-memory serialisation cannot fail");
+    buf
+}
+
+fn assert_thread_count_invariant(ws: &WeightedString, k: usize) {
+    let serial = usix_bytes(ws, k, 1);
+    for threads in [2usize, 3, 8] {
+        let parallel = usix_bytes(ws, k, threads);
+        assert_eq!(
+            serial,
+            parallel,
+            "threads={threads} produced different bytes (n={}, k={k})",
+            ws.len()
+        );
+    }
+    // and the serialisation loads back into a working index
+    let loaded = UsiIndex::read_from(&mut serial.as_slice()).expect("round-trip");
+    assert_eq!(loaded.text(), ws.text());
+}
+
+proptest! {
+    #[test]
+    fn parallel_build_bytes_equal_serial(
+        text in proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c')], 0..400),
+        k in 1usize..60,
+    ) {
+        let ws = WeightedString::uniform(text, 1.0);
+        assert_thread_count_invariant(&ws, k);
+    }
+
+    #[test]
+    fn parallel_build_bytes_equal_serial_weighted(
+        text in proptest::collection::vec(any::<u8>(), 1..250),
+        seed in any::<u32>(),
+    ) {
+        // varied weights: accumulator contents must match bit-for-bit,
+        // which requires the same occurrence-aggregation results
+        let weights: Vec<f64> =
+            (0..text.len()).map(|i| ((i as u64 * 2654435761 + seed as u64) % 97) as f64 / 7.0).collect();
+        let ws = WeightedString::new(text, weights).unwrap();
+        assert_thread_count_invariant(&ws, 25);
+    }
+}
+
+#[test]
+fn degenerate_inputs_are_thread_count_invariant() {
+    // empty text
+    assert_thread_count_invariant(&WeightedString::uniform(Vec::new(), 1.0), 5);
+    // single byte
+    assert_thread_count_invariant(&WeightedString::uniform(vec![b'x'], 1.0), 5);
+    // shorter than one sharding block at any practical thread count
+    assert_thread_count_invariant(&WeightedString::uniform(b"abc".to_vec(), 1.0), 3);
+    // all-equal bytes (one seed group: exercises the repetitive path)
+    assert_thread_count_invariant(&WeightedString::uniform(vec![b'z'; 700], 1.0), 20);
+    // zero bytes, which collide with key padding if the packing is wrong
+    assert_thread_count_invariant(&WeightedString::uniform(vec![0u8; 120], 1.0), 10);
+}
+
+#[test]
+fn tau_and_default_k_builds_are_thread_count_invariant() {
+    let text = b"abracadabra_abracadabra_abracadabra".repeat(8);
+    let ws = WeightedString::uniform(text, 1.0);
+    let serialise = |builder: UsiBuilder, threads: usize| {
+        let mut buf = Vec::new();
+        builder
+            .with_threads(threads)
+            .deterministic(99)
+            .build(ws.clone())
+            .write_to(&mut buf)
+            .unwrap();
+        buf
+    };
+    for threads in [2usize, 4] {
+        assert_eq!(
+            serialise(UsiBuilder::new().with_tau(6), 1),
+            serialise(UsiBuilder::new().with_tau(6), threads),
+            "tau build, threads={threads}"
+        );
+        assert_eq!(
+            serialise(UsiBuilder::new(), 1),
+            serialise(UsiBuilder::new(), threads),
+            "default-K build, threads={threads}"
+        );
+    }
+}

@@ -122,20 +122,45 @@ impl Catalog {
         doc
     }
 
-    /// Loads one `.usix` file; the document id is the file stem.
-    pub fn load_usix(&self, path: &Path) -> Result<Arc<Doc>, CatalogError> {
+    /// Reads and validates one `.usix` file without touching the
+    /// catalog; the document id is the file stem.
+    fn parse_usix(path: &Path) -> Result<(String, UsiIndex), CatalogError> {
         let display = path.display().to_string();
         let file = std::fs::File::open(path).map_err(|e| CatalogError::Io(display.clone(), e))?;
         let mut reader = io::BufReader::new(file);
         let index = UsiIndex::read_from(&mut reader).map_err(|e| CatalogError::Load(display, e))?;
         let id = path.file_stem().map_or_else(String::new, |s| s.to_string_lossy().into_owned());
+        Ok((id, index))
+    }
+
+    /// Loads one `.usix` file; the document id is the file stem.
+    pub fn load_usix(&self, path: &Path) -> Result<Arc<Doc>, CatalogError> {
+        let (id, index) = Self::parse_usix(path)?;
         Ok(self.insert(id, index))
     }
 
     /// Loads a path that is either one `.usix` file or a directory whose
-    /// `.usix` entries are all loaded. Returns the ids loaded (sorted
-    /// for directories: deterministic across filesystems).
+    /// `.usix` entries are all loaded, parsing directory entries on up
+    /// to `available_parallelism` workers (each load is independent).
+    /// Returns the ids loaded (sorted for directories: deterministic
+    /// across filesystems). See [`Catalog::load_path_threads`].
     pub fn load_path(&self, path: &Path) -> Result<Vec<String>, CatalogError> {
+        let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+        self.load_path_threads(path, threads)
+    }
+
+    /// [`Catalog::load_path`] with an explicit worker count. Files are
+    /// read and validated concurrently on scoped threads; documents are
+    /// then registered in sorted file order. On failure the error
+    /// reported is the **first** failing file in that order (not
+    /// whichever worker lost the race), and no document from the batch
+    /// is registered — a failed load never leaves a half-loaded
+    /// directory behind.
+    pub fn load_path_threads(
+        &self,
+        path: &Path,
+        threads: usize,
+    ) -> Result<Vec<String>, CatalogError> {
         let display = path.display().to_string();
         let meta = std::fs::metadata(path).map_err(|e| CatalogError::Io(display.clone(), e))?;
         if !meta.is_dir() {
@@ -148,9 +173,34 @@ impl Catalog {
             .filter(|p| p.extension().is_some_and(|ext| ext == "usix"))
             .collect();
         files.sort();
-        let mut ids = Vec::with_capacity(files.len());
-        for file in &files {
-            ids.push(self.load_usix(file)?.id().to_string());
+        let threads = threads.max(1).min(files.len().max(1));
+        let parsed: Vec<Result<(String, UsiIndex), CatalogError>> = if threads == 1 {
+            files.iter().map(|file| Self::parse_usix(file)).collect()
+        } else {
+            let chunk = files.len().div_ceil(threads);
+            let parts: Vec<Vec<Result<(String, UsiIndex), CatalogError>>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = files
+                        .chunks(chunk)
+                        .map(|part| {
+                            scope.spawn(move || {
+                                part.iter().map(|file| Self::parse_usix(file)).collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("load worker panicked")).collect()
+                });
+            parts.into_iter().flatten().collect()
+        };
+        // first error in file order wins; register nothing on failure
+        let mut docs = Vec::with_capacity(parsed.len());
+        for result in parsed {
+            docs.push(result?);
+        }
+        let mut ids = Vec::with_capacity(docs.len());
+        for (id, index) in docs {
+            self.insert(&id, index);
+            ids.push(id);
         }
         Ok(ids)
     }
@@ -403,6 +453,57 @@ mod tests {
                 assert_eq!(fan.total_occurrences, single.total_occurrences);
                 assert_eq!(fan.total_value, single.total_value);
             }
+        }
+    }
+
+    #[test]
+    fn concurrent_directory_loads_match_serial() {
+        let dir = std::env::temp_dir().join("usi-catalog-load-tests").join("ok");
+        std::fs::create_dir_all(&dir).unwrap();
+        for seed in 0..6u64 {
+            let index =
+                UsiBuilder::new().with_k(20).deterministic(seed).build(sample_ws(seed, 400));
+            let mut f = std::fs::File::create(dir.join(format!("doc{seed}.usix"))).unwrap();
+            index.write_to(&mut f).unwrap();
+        }
+        let serial = Catalog::new(4);
+        let serial_ids = serial.load_path_threads(&dir, 1).unwrap();
+        for threads in [2usize, 3, 16] {
+            let parallel = Catalog::new(4);
+            let ids = parallel.load_path_threads(&dir, threads).unwrap();
+            assert_eq!(ids, serial_ids, "threads {threads}");
+            assert_eq!(parallel.doc_ids(), serial.doc_ids());
+            for id in &ids {
+                assert_eq!(
+                    parallel.query(id, b"ab").unwrap(),
+                    serial.query(id, b"ab").unwrap(),
+                    "doc {id}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_load_failure_surfaces_first_bad_file_and_loads_nothing() {
+        let dir = std::env::temp_dir().join("usi-catalog-load-tests").join("bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        for seed in 0..4u64 {
+            let index =
+                UsiBuilder::new().with_k(10).deterministic(seed).build(sample_ws(seed, 200));
+            let mut f = std::fs::File::create(dir.join(format!("doc{seed}.usix"))).unwrap();
+            index.write_to(&mut f).unwrap();
+        }
+        // two corrupt files; "a-corrupt" sorts before every valid doc
+        std::fs::write(dir.join("a-corrupt.usix"), b"not an index").unwrap();
+        std::fs::write(dir.join("z-corrupt.usix"), b"also not an index").unwrap();
+        for threads in [1usize, 2, 8] {
+            let catalog = Catalog::new(2);
+            let err = catalog.load_path_threads(&dir, threads).unwrap_err();
+            assert!(
+                err.to_string().contains("a-corrupt"),
+                "threads {threads}: expected the first bad file, got: {err}"
+            );
+            assert!(catalog.is_empty(), "threads {threads}: partial load left documents behind");
         }
     }
 

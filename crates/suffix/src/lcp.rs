@@ -41,6 +41,61 @@ pub fn lcp_array(text: &[u8], sa: &[u32]) -> Vec<u32> {
     lcp
 }
 
+/// [`lcp_array`] chunked over up to `threads` scoped workers, with
+/// output identical to the serial pass for every input and thread count.
+///
+/// Kasai's invariant is per *text position*: `PLCP[i]` (the LCP of
+/// suffix `i` with its suffix-array predecessor) never drops by more
+/// than one from `PLCP[i − 1]`, which the serial algorithm exploits by
+/// carrying the matched length `h` from one position to the next. The
+/// carry is only a lower-bound hint, so each worker can restart it at
+/// zero on its own text block and still compute the exact values; the
+/// only cost is one un-amortised re-scan per block boundary. Per-block
+/// `PLCP` slices are disjoint (`chunks_mut`), and a final `O(n)` pass
+/// permutes `PLCP` into SA order.
+pub fn lcp_array_threads(text: &[u8], sa: &[u32], threads: usize) -> Vec<u32> {
+    /// Below this length the pass is microseconds; spawning loses.
+    const PARALLEL_MIN_LEN: usize = 1 << 14;
+    let n = text.len();
+    assert_eq!(sa.len(), n, "suffix array length must match text length");
+    if threads <= 1 || n < PARALLEL_MIN_LEN {
+        return lcp_array(text, sa);
+    }
+    let threads = threads.min(n);
+    let rank = rank_array(sa);
+    let mut plcp = vec![0u32; n];
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (ci, slice) in plcp.chunks_mut(chunk).enumerate() {
+            let rank = &rank;
+            scope.spawn(move || {
+                let lo = ci * chunk;
+                let mut h = 0usize;
+                for (off, out) in slice.iter_mut().enumerate() {
+                    let i = lo + off;
+                    let r = rank[i] as usize;
+                    if r == 0 {
+                        h = 0;
+                        *out = 0;
+                        continue;
+                    }
+                    let j = sa[r - 1] as usize;
+                    while i + h < n && j + h < n && text[i + h] == text[j + h] {
+                        h += 1;
+                    }
+                    *out = h as u32;
+                    h = h.saturating_sub(1);
+                }
+            });
+        }
+    });
+    let mut lcp = vec![0u32; n];
+    for (i, &v) in plcp.iter().enumerate() {
+        lcp[rank[i] as usize] = v;
+    }
+    lcp
+}
+
 /// Computes the rank (inverse suffix array): `rank[sa[i]] = i`.
 pub fn rank_array(sa: &[u32]) -> Vec<u32> {
     let mut rank = vec![0u32; sa.len()];
@@ -81,6 +136,31 @@ mod tests {
                 let text: Vec<u8> =
                     (0..len).map(|_| b'a' + rng.gen_range(0..sigma) as u8).collect();
                 check(&text);
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_kasai_matches_serial() {
+        let mut rng = StdRng::seed_from_u64(101);
+        let mut texts: Vec<Vec<u8>> = vec![
+            Vec::new(),
+            b"a".to_vec(),
+            vec![b'a'; 300],
+            b"ab".repeat(100),
+            b"mississippi".repeat(30),
+        ];
+        // 20_000 crosses the parallel gate; the rest pin the fallback
+        for len in [10usize, 257, 5000, 20_000] {
+            texts.push((0..len).map(|_| b'a' + rng.gen_range(0..3u8)).collect());
+        }
+        // an equal-byte run spanning chunk boundaries at the gate size
+        texts.push(vec![b'a'; 20_000]);
+        for text in &texts {
+            let sa = suffix_array(text);
+            let want = lcp_array(text, &sa);
+            for threads in [1usize, 2, 3, 8, 64] {
+                assert_eq!(lcp_array_threads(text, &sa, threads), want, "threads {threads}");
             }
         }
     }

@@ -5,8 +5,14 @@
 //! as `SA(S)`), this crate provides the *enhanced suffix array* toolkit
 //! that simulates every suffix-tree operation USI needs:
 //!
-//! * [`sais`] — linear-time suffix array construction (SA-IS);
-//! * [`lcp`] — Kasai's linear-time LCP array;
+//! * [`sais`] — linear-time suffix array construction (SA-IS), with the
+//!   top-level classification/bucket phases optionally chunked over
+//!   scoped threads;
+//! * [`parallel`] — block-sharded parallel suffix-array construction
+//!   (per-block seed sort + doubling merge) behind a thread-count-aware
+//!   policy entry point;
+//! * [`lcp`] — Kasai's linear-time LCP array, serial or blockwise
+//!   parallel;
 //! * [`rmq`] — sparse-table range-minimum queries;
 //! * [`lce`] — longest-common-extension oracles (naive / Karp–Rabin /
 //!   RMQ-based), the substitute for Prezza's in-place LCE structure;
@@ -24,6 +30,7 @@ pub mod interval_tree;
 pub mod lce;
 pub mod lcp;
 pub mod naive;
+pub mod parallel;
 pub mod rmq;
 pub mod sais;
 pub mod search;
@@ -33,9 +40,10 @@ pub mod ukkonen;
 pub use esa::{lcp_intervals, LcpInterval};
 pub use interval_tree::EsaSearcher;
 pub use lce::{FingerprintLce, LceBackend, LceOracle, NaiveLce, RmqLce};
-pub use lcp::lcp_array;
+pub use lcp::{lcp_array, lcp_array_threads};
+pub use parallel::{suffix_array_sharded, suffix_array_threads};
 pub use rmq::SparseTableRmq;
-pub use sais::{suffix_array, suffix_array_ints};
+pub use sais::{suffix_array, suffix_array_induced_threads, suffix_array_ints};
 pub use search::SuffixArraySearcher;
 pub use sparse::{sparse_suffix_array, SparseIndex};
 pub use ukkonen::SuffixTree;

@@ -1,0 +1,313 @@
+//! Block-sharded parallel suffix-array construction.
+//!
+//! [`suffix_array_threads`] is the thread-count-aware entry point used by
+//! the index builder. The suffix array of a text is *unique*, so every
+//! path below returns bytes identical to [`crate::suffix_array`] — the
+//! determinism invariant the CI gate enforces — and the only question is
+//! which path is fastest for the input at hand:
+//!
+//! * **Sharded sort + doubling merge** ([`suffix_array_sharded`]): the
+//!   text is cut into `threads` blocks, each overlapping its successor by
+//!   [`SEED_BYTES`] − 1 bytes; per block a worker builds the block's seed
+//!   structure (its suffixes sorted by their [`SEED_BYTES`]-byte prefix,
+//!   packed into one `u64` key) concurrently; the per-block runs are then
+//!   merged into a global seed order, and prefix-doubling rounds — each a
+//!   parallel sort over position blocks — refine it to the full
+//!   lexicographic order (Manber–Myers over a block-sorted seed). The
+//!   worst case is `O(n log n)`, but typical texts resolve in one or two
+//!   rounds because the 7-byte seed already separates almost all
+//!   suffixes.
+//! * **Induced sorting with parallel phases**
+//!   ([`crate::sais::suffix_array_induced_threads`]): sharding does not
+//!   help highly repetitive texts (few distinct seed groups ⇒ many
+//!   doubling rounds), so when the seed pass detects one the wrapper
+//!   falls back to SA-IS with its classification and bucket-histogram
+//!   phases chunked over the same scoped worker pool.
+//!
+//! Everything runs on `std::thread::scope` — no rayon, by design: the
+//! build environment is registry-free (see `vendor/README.md`).
+
+use crate::sais::{suffix_array, suffix_array_induced_threads};
+
+/// Seed prefix length: 7 bytes packed as 9-bit letters (value `b + 1`,
+/// `0` padding past the end of the text) fit one `u64` and make the key
+/// order exactly the lexicographic order of truncated suffixes.
+pub const SEED_BYTES: usize = 7;
+
+/// Below this length serial SA-IS wins outright; the policy wrapper does
+/// not even spawn workers.
+const PARALLEL_MIN_LEN: usize = 1 << 16;
+
+/// If the seed pass leaves fewer than `n / REPETITIVE_FRACTION` distinct
+/// groups, the text is repetitive enough that doubling would need many
+/// rounds; the wrapper falls back to induced sorting instead.
+const REPETITIVE_FRACTION: usize = 1024;
+
+/// Builds the suffix array of `text` using up to `threads` workers,
+/// picking the fastest exact strategy for the input (see the module
+/// docs). Output is byte-identical to [`crate::suffix_array`] for every
+/// input and thread count — the suffix array is unique.
+///
+/// ```
+/// use usi_suffix::parallel::suffix_array_threads;
+/// use usi_suffix::suffix_array;
+/// let text = b"banana".repeat(30);
+/// assert_eq!(suffix_array_threads(&text, 4), suffix_array(&text));
+/// ```
+pub fn suffix_array_threads(text: &[u8], threads: usize) -> Vec<u32> {
+    let threads = threads.max(1);
+    if threads == 1 || text.len() < PARALLEL_MIN_LEN {
+        return suffix_array(text);
+    }
+    match sharded_impl(text, threads, true) {
+        Some(sa) => sa,
+        // repetitive seed groups: sharding does not apply, so use the
+        // induced-sorting path with parallel bucket/classify phases
+        None => suffix_array_induced_threads(text, threads),
+    }
+}
+
+/// The sharded construction itself, with no size gate or repetitiveness
+/// fallback: always runs the per-block seed sort, the merge and the
+/// doubling rounds. Exact for every input (just slow on degenerate ones);
+/// exposed so the equivalence property tests can drive the parallel
+/// machinery on small texts.
+pub fn suffix_array_sharded(text: &[u8], threads: usize) -> Vec<u32> {
+    sharded_impl(text, threads, false).expect("sharded path never bails without the guard")
+}
+
+/// Packs `text[i .. i + SEED_BYTES)` into a `u64`: 9 bits per letter,
+/// letter value `b + 1`, `0` for positions past the end. Key order equals
+/// lexicographic order of the (end-terminated) truncated suffixes, and
+/// two keys are equal only if both suffixes run to `SEED_BYTES` full
+/// bytes with the same content — the invariant the doubling rounds need.
+#[inline]
+fn seed_key(text: &[u8], i: usize) -> u64 {
+    let mut k = 0u64;
+    for j in 0..SEED_BYTES {
+        k <<= 9;
+        if let Some(&b) = text.get(i + j) {
+            k |= b as u64 + 1;
+        }
+    }
+    k
+}
+
+fn sharded_impl(text: &[u8], threads: usize, bail_when_repetitive: bool) -> Option<Vec<u32>> {
+    let n = text.len();
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    assert!(n < u32::MAX as usize - 1, "texts must fit in u32 index space");
+    let threads = threads.max(1).min(n);
+    let chunk = n.div_ceil(threads);
+
+    // --- per-block seed structures, built concurrently ---
+    // Each block sorts its own suffix starts by the packed seed prefix
+    // (reading up to SEED_BYTES - 1 bytes past its right edge: the
+    // overlap). (key, pos) pairs make the order a strict total order.
+    let runs: Vec<Vec<(u64, u32)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let lo = t * chunk;
+                    let hi = (lo + chunk).min(n);
+                    let mut run: Vec<(u64, u32)> =
+                        (lo..hi).map(|i| (seed_key(text, i), i as u32)).collect();
+                    run.sort_unstable();
+                    run
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("seed worker panicked")).collect()
+    });
+
+    // --- merge the per-block runs into the global seed order ---
+    let mut keyed = merge_runs(runs);
+
+    // --- rank by seed group; bail out if the text is too repetitive ---
+    let mut rank = vec![0u32; n];
+    let mut groups = assign_ranks(&keyed, &mut rank);
+    if bail_when_repetitive && groups.saturating_mul(REPETITIVE_FRACTION) < n {
+        return None;
+    }
+
+    // --- prefix-doubling rounds (Manber–Myers over the seed order) ---
+    // Invariant: `rank` orders suffixes by their first `h` bytes (with
+    // end-of-text comparing smallest), and equal ranks imply both
+    // suffixes have at least `h` real bytes.
+    let mut h = SEED_BYTES;
+    while groups < n {
+        let combine = |i: usize| -> u64 {
+            let tail = if i + h < n { rank[i + h] as u64 + 1 } else { 0 };
+            ((rank[i] as u64) << 32) | tail
+        };
+        // re-sort by the doubled key, sharded over position blocks again
+        let next: Vec<Vec<(u64, u32)>> = std::thread::scope(|scope| {
+            let combine = &combine;
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    scope.spawn(move || {
+                        let lo = t * chunk;
+                        let hi = (lo + chunk).min(n);
+                        let mut run: Vec<(u64, u32)> =
+                            (lo..hi).map(|i| (combine(i), i as u32)).collect();
+                        run.sort_unstable();
+                        run
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("doubling worker panicked")).collect()
+        });
+        keyed = merge_runs(next);
+        groups = assign_ranks(&keyed, &mut rank);
+        h *= 2;
+    }
+
+    Some(keyed.into_iter().map(|(_, p)| p).collect())
+}
+
+/// Ranks every position by its group in the sorted key order: the rank is
+/// the index of the group's first element, so equal keys share a rank and
+/// ranks are strictly ordered across groups. Returns the group count.
+fn assign_ranks(keyed: &[(u64, u32)], rank: &mut [u32]) -> usize {
+    let mut groups = 0usize;
+    let mut head = 0u32;
+    for (idx, &(key, pos)) in keyed.iter().enumerate() {
+        if idx == 0 || key != keyed[idx - 1].0 {
+            head = idx as u32;
+            groups += 1;
+        }
+        rank[pos as usize] = head;
+    }
+    groups
+}
+
+/// Merges sorted runs pairwise; each round merges its pairs on scoped
+/// workers, so the merge tree is parallel except for the final pass.
+fn merge_runs(mut runs: Vec<Vec<(u64, u32)>>) -> Vec<(u64, u32)> {
+    if runs.is_empty() {
+        return Vec::new();
+    }
+    while runs.len() > 1 {
+        runs = std::thread::scope(|scope| {
+            let handles: Vec<_> = runs
+                .chunks_mut(2)
+                .map(|pair| {
+                    let (a, b) = match pair {
+                        [a, b] => (std::mem::take(a), std::mem::take(b)),
+                        [a] => (std::mem::take(a), Vec::new()),
+                        _ => unreachable!("chunks of 2"),
+                    };
+                    scope.spawn(move || merge_two(a, b))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("merge worker panicked")).collect()
+        });
+    }
+    runs.pop().expect("one run left")
+}
+
+fn merge_two(a: Vec<(u64, u32)>, b: Vec<(u64, u32)>) -> Vec<(u64, u32)> {
+    if a.is_empty() {
+        return b;
+    }
+    if b.is_empty() {
+        return a;
+    }
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn check(text: &[u8], threads: usize) {
+        let want = suffix_array(text);
+        assert_eq!(suffix_array_sharded(text, threads), want, "sharded t={threads}");
+        assert_eq!(suffix_array_threads(text, threads), want, "policy t={threads}");
+        assert_eq!(suffix_array_induced_threads(text, threads), want, "induced t={threads}");
+    }
+
+    #[test]
+    fn fixtures_across_thread_counts() {
+        for threads in [1usize, 2, 3, 8] {
+            check(b"", threads);
+            check(b"a", threads);
+            check(b"ab", threads);
+            check(b"banana", threads);
+            check(b"mississippi", threads);
+            check(&b"abracadabra".repeat(10), threads);
+        }
+    }
+
+    #[test]
+    fn degenerate_texts() {
+        for threads in [2usize, 3, 8] {
+            check(&[b'a'; 500], threads); // all-equal: one seed group
+            check(&[0u8; 64], threads); // zero bytes vs key padding
+            check(&[255u8; 40], threads);
+            check(&b"ab".repeat(300), threads); // period 2 < SEED_BYTES
+            check(&b"abcdefgh".repeat(100), threads); // period > SEED_BYTES
+        }
+    }
+
+    #[test]
+    fn block_boundaries_are_respected() {
+        // lengths around the chunking math: n % threads edge cases
+        let mut rng = StdRng::seed_from_u64(41);
+        for n in [5usize, 7, 8, 9, 15, 16, 17, 100, 101] {
+            let text: Vec<u8> = (0..n).map(|_| b'a' + rng.gen_range(0..3u8)).collect();
+            for threads in [2usize, 3, 4, 7, 16] {
+                check(&text, threads);
+            }
+        }
+    }
+
+    #[test]
+    fn random_texts_various_alphabets() {
+        let mut rng = StdRng::seed_from_u64(43);
+        for sigma in [2usize, 4, 26, 256] {
+            for len in [50usize, 500, 2000] {
+                let text: Vec<u8> = (0..len).map(|_| rng.gen_range(0..sigma) as u8).collect();
+                for threads in [2usize, 4] {
+                    check(&text, threads);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn large_text_crosses_the_parallel_gate() {
+        // long enough that suffix_array_threads takes the sharded path
+        // and sais_impl takes the parallel classify/histogram phases
+        let mut rng = StdRng::seed_from_u64(47);
+        let text: Vec<u8> =
+            (0..(PARALLEL_MIN_LEN + 1234)).map(|_| b"acgt"[rng.gen_range(0..4usize)]).collect();
+        check(&text, 4);
+    }
+
+    #[test]
+    fn repetitive_large_text_takes_the_fallback() {
+        // periodic text with few distinct 7-byte windows: the policy
+        // wrapper must bail to induced sorting and still be exact
+        let text = b"ab".repeat(PARALLEL_MIN_LEN);
+        let got = suffix_array_threads(&text, 4);
+        assert_eq!(got, suffix_array(&text));
+    }
+}

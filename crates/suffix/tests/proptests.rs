@@ -4,8 +4,9 @@ use proptest::prelude::*;
 use usi_strings::Fingerprinter;
 use usi_suffix::naive::{lcp_array_naive, occurrences_naive, suffix_array_naive};
 use usi_suffix::{
-    lcp_array, lcp_intervals, sparse_suffix_array, suffix_array, EsaSearcher, FingerprintLce,
-    LceOracle, NaiveLce, RmqLce, SuffixArraySearcher, SuffixTree,
+    lcp_array, lcp_array_threads, lcp_intervals, sparse_suffix_array, suffix_array,
+    suffix_array_induced_threads, suffix_array_sharded, suffix_array_threads, EsaSearcher,
+    FingerprintLce, LceOracle, NaiveLce, RmqLce, SuffixArraySearcher, SuffixTree,
 };
 
 fn text_strategy(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
@@ -27,6 +28,27 @@ proptest! {
     fn kasai_matches_naive(text in text_strategy(200)) {
         let sa = suffix_array(&text);
         prop_assert_eq!(lcp_array(&text, &sa), lcp_array_naive(&text, &sa));
+    }
+
+    #[test]
+    fn parallel_sa_equals_serial(text in proptest::collection::vec(any::<u8>(), 0..400)) {
+        // the determinism invariant: every construction path, at every
+        // thread count, produces the one true suffix array
+        let want = suffix_array(&text);
+        for threads in [2usize, 3, 8] {
+            prop_assert_eq!(&suffix_array_sharded(&text, threads), &want);
+            prop_assert_eq!(&suffix_array_threads(&text, threads), &want);
+            prop_assert_eq!(&suffix_array_induced_threads(&text, threads), &want);
+        }
+    }
+
+    #[test]
+    fn parallel_lcp_equals_serial(text in text_strategy(300)) {
+        let sa = suffix_array(&text);
+        let want = lcp_array(&text, &sa);
+        for threads in [2usize, 3, 8] {
+            prop_assert_eq!(&lcp_array_threads(&text, &sa, threads), &want);
+        }
     }
 
     #[test]

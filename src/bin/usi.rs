@@ -3,7 +3,7 @@
 //! ```text
 //! usi build <text-file> [--weights FILE | --uniform W] [--k K | --tau T]
 //!           [--approx S] [--agg sum|min|max|avg|count] [--local sum|product]
-//!           [--seed N] -o OUT.usix
+//!           [--seed N] [--threads N] -o OUT.usix
 //! usi query <OUT.usix> <pattern> [<pattern>…] [--json]
 //! usi stats <OUT.usix>
 //! usi topk  <text-file> --k K [--min-len L]
@@ -163,6 +163,11 @@ fn cmd_build(args: &Args) {
             .map(|s| s.parse().unwrap_or_else(|_| die("bad --seed")))
             .unwrap_or(0xbeef),
     );
+    // Parallel construction: output is byte-identical at any thread
+    // count (CI cmp-gates this), so --threads is purely a speed knob.
+    if let Some(t) = args.flag("threads") {
+        builder = builder.with_threads(t.parse().unwrap_or_else(|_| die("bad --threads")));
+    }
 
     let out_path = args.flag("out").unwrap_or_else(|| die("build requires -o OUT"));
     let index = builder.build(ws);

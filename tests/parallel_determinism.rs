@@ -1,0 +1,57 @@
+//! End-to-end determinism of parallel builds over realistic corpora:
+//! Markov-generated texts (the DNA-like repeat structure the paper's
+//! HUM/ECOLI stand-ins use) and the five full dataset profiles must
+//! build **byte-identical** `.usix` images at every thread count. The
+//! per-crate tests pin the same invariant on random and degenerate
+//! inputs; this one drives the whole `usi` stack the way the CLI does.
+
+use proptest::prelude::*;
+use usi::datasets::markov::MarkovChain;
+use usi::prelude::*;
+use usi::strings::WeightedString;
+
+fn usix_bytes(ws: &WeightedString, k: usize, threads: usize) -> Vec<u8> {
+    let index =
+        UsiBuilder::new().with_k(k).with_threads(threads).deterministic(0xabcd).build(ws.clone());
+    let mut buf = Vec::new();
+    index.write_to(&mut buf).expect("in-memory serialisation cannot fail");
+    buf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn markov_builds_are_thread_count_invariant(
+        seed in any::<u32>(),
+        order in 0usize..3,
+        sigma in 2usize..6,
+        n in 1usize..3000,
+        k in 1usize..80,
+    ) {
+        let chain = MarkovChain::new(sigma, order, 1.2, seed as u64);
+        let letters = chain.generate(n, seed as u64 ^ 0x9e37);
+        let text: Vec<u8> = letters.into_iter().map(|l| b'a' + l).collect();
+        let ws = WeightedString::uniform(text, 1.0);
+        let serial = usix_bytes(&ws, k, 1);
+        for threads in [2usize, 3, 8] {
+            prop_assert_eq!(&usix_bytes(&ws, k, threads), &serial);
+        }
+    }
+}
+
+#[test]
+fn dataset_profiles_are_thread_count_invariant() {
+    // every corpus profile (varied alphabets, planted repeats, weights)
+    for ds in usi::datasets::ALL_DATASETS {
+        let ws = ds.generate(4_000, 5);
+        let serial = usix_bytes(&ws, 64, 1);
+        for threads in [2usize, 4] {
+            assert_eq!(
+                usix_bytes(&ws, 64, threads),
+                serial,
+                "{:?} differs at {threads} threads",
+                ds
+            );
+        }
+    }
+}

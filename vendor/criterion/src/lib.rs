@@ -136,6 +136,42 @@ fn report(name: &str, samples: &[Duration], throughput: Option<Throughput>) {
         }
     }
     println!("{line}");
+    machine_report(name, &sorted, median, mean);
+}
+
+/// Nightly-CI hook: when `CRITERION_JSON` names a file, append one JSON
+/// object per benchmark (JSON-lines) so the regression gate can compare
+/// the medians against checked-in thresholds without scraping stdout.
+fn machine_report(name: &str, sorted: &[Duration], median: Duration, mean: Duration) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let escaped: String = name
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if (c as u32) < 0x20 => " ".chars().collect(),
+            c => vec![c],
+        })
+        .collect();
+    let line = format!(
+        "{{\"name\":\"{escaped}\",\"median_ns\":{},\"mean_ns\":{},\"min_ns\":{},\"samples\":{}}}\n",
+        median.as_nanos(),
+        mean.as_nanos(),
+        sorted[0].as_nanos(),
+        sorted.len(),
+    );
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+    if let Err(e) = result {
+        eprintln!("criterion shim: cannot append to CRITERION_JSON={path}: {e}");
+    }
 }
 
 /// Shim of `criterion::Criterion`.
