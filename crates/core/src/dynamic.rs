@@ -83,6 +83,21 @@ impl DynamicUsi {
         self.rebuilds
     }
 
+    /// The builder every epoch rebuild runs through — rebuilds reuse its
+    /// full configuration, including [`crate::BuildOptions::threads`]
+    /// and the deterministic fingerprint seed, so a rebuilt index is
+    /// byte-identical to a from-scratch build of the same builder over
+    /// the concatenated string (pinned by a regression test).
+    pub fn builder(&self) -> &UsiBuilder {
+        &self.builder
+    }
+
+    /// Retunes the worker-thread count used by subsequent rebuilds
+    /// (e.g. after moving the index to a machine with more cores).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.builder = self.builder.clone().with_threads(threads);
+    }
+
     /// The current full text (prefix + tail), materialised.
     pub fn text(&self) -> Vec<u8> {
         let mut t = self.index.text().to_vec();
@@ -100,6 +115,11 @@ impl DynamicUsi {
     }
 
     /// Forces an epoch rebuild, folding the tail into the static index.
+    ///
+    /// The rebuild runs through the stored builder, so it reuses the
+    /// builder's [`crate::BuildOptions::threads`]: an index whose
+    /// initial build was threaded rebuilds threaded too (and, with a
+    /// deterministic seed, byte-identically to a serial build).
     pub fn rebuild(&mut self) {
         if self.tail_text.is_empty() {
             return;
@@ -271,6 +291,73 @@ mod tests {
         for pat in [&b"an"[..], b"ana", b"x", b"banana"] {
             assert_eq!(idx.query(pat).occurrences, static_idx.query(pat).occurrences);
         }
+    }
+
+    /// Regression test for rebuild parallelism: a rebuild must run
+    /// through the stored builder — thread count included — so the
+    /// rebuilt index serialises byte-identically to both a serial and a
+    /// threaded from-scratch build over the concatenated string.
+    #[test]
+    fn rebuild_reuses_builder_threads() {
+        let mut rng = StdRng::seed_from_u64(47);
+        let n0 = 400;
+        let text: Vec<u8> = (0..n0).map(|_| b'a' + rng.gen_range(0..3u8)).collect();
+        let weights: Vec<f64> = (0..n0).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let ws = WeightedString::new(text, weights).unwrap();
+
+        let threaded_builder = UsiBuilder::new().with_k(30).deterministic(48).with_threads(3);
+        let mut idx = DynamicUsi::new(threaded_builder, ws.clone(), 1_000_000);
+        assert_eq!(idx.builder().clone().build(ws.clone()).cached_substrings(), 30);
+
+        let mut appended: Vec<(u8, f64)> = Vec::new();
+        for _ in 0..50 {
+            let b = b'a' + rng.gen_range(0..3u8);
+            let w = rng.gen_range(0.0..1.0);
+            idx.push(b, w);
+            appended.push((b, w));
+        }
+        idx.rebuild();
+        assert_eq!(idx.rebuilds(), 1);
+        assert_eq!(idx.tail_len(), 0);
+
+        let (mut full_text, mut full_weights) = ws.into_parts();
+        full_text.extend(appended.iter().map(|&(b, _)| b));
+        full_weights.extend(appended.iter().map(|&(_, w)| w));
+        let full = WeightedString::new(full_text, full_weights).unwrap();
+
+        let mut rebuilt_bytes = Vec::new();
+        idx.index.write_to(&mut rebuilt_bytes).unwrap();
+        for threads in [1usize, 3] {
+            let scratch = UsiBuilder::new()
+                .with_k(30)
+                .deterministic(48)
+                .with_threads(threads)
+                .build(full.clone());
+            let mut scratch_bytes = Vec::new();
+            scratch.write_to(&mut scratch_bytes).unwrap();
+            assert_eq!(
+                rebuilt_bytes, scratch_bytes,
+                "threaded rebuild differs from a {threads}-thread from-scratch build"
+            );
+        }
+
+        // retuning the thread count sticks for later rebuilds and keeps
+        // the output identical
+        idx.set_threads(1);
+        idx.push(b'a', 0.5);
+        idx.rebuild();
+        let mut retuned_bytes = Vec::new();
+        idx.index.write_to(&mut retuned_bytes).unwrap();
+        let (mut text2, mut weights2) = full.into_parts();
+        text2.push(b'a');
+        weights2.push(0.5);
+        let scratch = UsiBuilder::new()
+            .with_k(30)
+            .deterministic(48)
+            .build(WeightedString::new(text2, weights2).unwrap());
+        let mut scratch_bytes = Vec::new();
+        scratch.write_to(&mut scratch_bytes).unwrap();
+        assert_eq!(retuned_bytes, scratch_bytes);
     }
 
     #[test]

@@ -21,12 +21,16 @@
 //! * [`index`] / [`builder`] — the `USI_TOP-K` data structure of
 //!   Section IV;
 //! * [`metrics`] — Accuracy, Relative Error and NDCG (Section IX-B);
-//! * [`dynamic`] — an append-only dynamic variant (Section X).
+//! * [`dynamic`] — an append-only dynamic variant (Section X);
+//! * [`merge`] — the shared semantics for combining per-part answers
+//!   (the server's cross-document fan-out, the ingestion layer's
+//!   per-segment results).
 
 pub mod approx;
 pub mod builder;
 pub mod dynamic;
 pub mod index;
+pub mod merge;
 pub mod metrics;
 pub mod oracle;
 pub mod persist;
@@ -36,6 +40,7 @@ pub use approx::{approximate_top_k, ApproxConfig, ApproxResult};
 pub use builder::{BuildOptions, TopKStrategy, UsiBuilder};
 pub use dynamic::DynamicUsi;
 pub use index::{BuildStats, QuerySource, UsiIndex, UsiQuery};
+pub use merge::{merge_accumulators, merged_total};
 pub use oracle::{exact_top_k, TopKOracle, TradeoffPoint, TuneForK, TuneForTau};
 pub use persist::PersistError;
 pub use topk::{SubstringRef, TopKEstimate, TopKSubstring};

@@ -1,0 +1,100 @@
+//! Merging per-part query answers into a whole-string (or whole-corpus)
+//! answer.
+//!
+//! Two subsystems answer one pattern from several partial indexes and
+//! must combine the raw [`UtilityAccumulator`]s before extracting an
+//! aggregate:
+//!
+//! * the serving layer's fan-out (`usi_server::Catalog::query_all`):
+//!   one accumulator per *document*;
+//! * the ingestion layer (`usi_ingest::IngestIndex`): one accumulator
+//!   per *segment* of a single growing document, plus the
+//!   boundary-spanning occurrences.
+//!
+//! Both go through this module so there is exactly one implementation of
+//! the merge semantics: accumulators merge associatively (sum / min /
+//! max / count are all order-insensitive), and a combined *value* is
+//! only defined when every part agrees on the utility function —
+//! otherwise finishing the merged accumulator would silently mix
+//! aggregates.
+
+use usi_strings::{GlobalUtility, UtilityAccumulator};
+
+/// Merges raw per-part accumulators into one. The merge is associative
+/// and order-insensitive, so callers may combine parts in any order
+/// (per-segment, per-document, per-thread) and get the same result.
+pub fn merge_accumulators<'a, I>(parts: I) -> UtilityAccumulator
+where
+    I: IntoIterator<Item = &'a UtilityAccumulator>,
+{
+    let mut merged = UtilityAccumulator::new();
+    for part in parts {
+        merged.merge(part);
+    }
+    merged
+}
+
+/// Combines per-part `(utility, accumulator)` answers into the total
+/// `(occurrences, value)` pair: occurrences always merge; the merged
+/// value is `Some` only when every part shares one utility function
+/// (merging a `min` answer into a `sum` answer would be meaningless)
+/// and the merged aggregate is defined for the occurrence count.
+pub fn merged_total(parts: &[(GlobalUtility, UtilityAccumulator)]) -> (u64, Option<f64>) {
+    let merged = merge_accumulators(parts.iter().map(|(_, acc)| acc));
+    let shared = parts.first().map(|(u, _)| *u);
+    let uniform = parts.iter().all(|(u, _)| Some(*u) == shared);
+    let value = match (uniform, shared) {
+        (true, Some(utility)) => merged.finish(utility.aggregator),
+        _ => None,
+    };
+    (merged.count(), value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usi_strings::GlobalAggregator;
+
+    fn acc(locals: &[f64]) -> UtilityAccumulator {
+        let mut a = UtilityAccumulator::new();
+        for &x in locals {
+            a.add(x);
+        }
+        a
+    }
+
+    #[test]
+    fn merge_is_order_insensitive() {
+        let parts = [acc(&[1.0, 2.0]), acc(&[]), acc(&[-3.0, 0.5])];
+        let forward = merge_accumulators(parts.iter());
+        let backward = merge_accumulators(parts.iter().rev());
+        assert_eq!(forward, backward);
+        assert_eq!(forward, acc(&[1.0, 2.0, -3.0, 0.5]));
+    }
+
+    #[test]
+    fn uniform_parts_have_a_total_value() {
+        let u = GlobalUtility::sum_of_sums();
+        let parts = vec![(u, acc(&[1.0, 2.0])), (u, acc(&[4.0]))];
+        assert_eq!(merged_total(&parts), (3, Some(7.0)));
+    }
+
+    #[test]
+    fn mixed_aggregators_have_no_total_value() {
+        let parts = vec![
+            (GlobalUtility::sum_of_sums(), acc(&[1.0])),
+            (GlobalUtility::with_aggregator(GlobalAggregator::Max), acc(&[2.0])),
+        ];
+        let (occurrences, value) = merged_total(&parts);
+        assert_eq!(occurrences, 2);
+        assert_eq!(value, None);
+    }
+
+    #[test]
+    fn empty_and_undefined_merges() {
+        assert_eq!(merged_total(&[]), (0, None));
+        let u = GlobalUtility::with_aggregator(GlobalAggregator::Min);
+        // min of zero occurrences is undefined even with uniform parts
+        assert_eq!(merged_total(&[(u, acc(&[]))]), (0, None));
+    }
+}

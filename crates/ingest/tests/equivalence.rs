@@ -1,0 +1,166 @@
+//! The ingestion subsystem's central invariant, proptested: for any
+//! base text, append sequence, seal threshold and compaction schedule,
+//! [`IngestIndex::query`] returns results identical to a from-scratch
+//! [`UsiBuilder`] build over the fully concatenated weighted string —
+//! occurrences always, and values with `==` (weights are drawn from
+//! dyadic rationals, so every aggregate is exact in f64 and
+//! accumulation order cannot perturb it). Patterns are sampled from the
+//! concatenated text, so base/segment/tail-boundary-spanning
+//! occurrences are exercised constantly, and WAL replay after a
+//! simulated crash must restore the same answers.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use usi_core::UsiBuilder;
+use usi_ingest::{IngestConfig, IngestIndex, IngestOptions, IngestPipeline};
+use usi_strings::WeightedString;
+
+fn letters(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c')], 0..max_len)
+}
+
+/// Dyadic weights in `{0, 0.25, …, 1.75}`: exactly representable, so
+/// sums/products of any association are bit-identical.
+fn weights_for(seed: u64, n: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..8) as f64 * 0.25).collect()
+}
+
+fn sample_patterns(text: &[u8], seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut patterns: Vec<Vec<u8>> = Vec::new();
+    if !text.is_empty() {
+        for _ in 0..40 {
+            let m = rng.gen_range(1..=text.len().min(24));
+            let i = rng.gen_range(0..=text.len() - m);
+            patterns.push(text[i..i + m].to_vec());
+        }
+        patterns.push(text.to_vec()); // the whole string
+    }
+    patterns.push(b"cba".to_vec());
+    patterns.push(b"zz".to_vec());
+    patterns.push(Vec::new());
+    patterns
+}
+
+fn assert_matches_scratch(idx: &IngestIndex, k: usize, seed: u64, patterns: &[Vec<u8>]) {
+    let full = WeightedString::new(idx.text(), idx.weights()).unwrap();
+    let scratch = UsiBuilder::new().with_k(k).deterministic(seed).build(full);
+    for pattern in patterns {
+        let got = idx.query(pattern);
+        let want = scratch.query(pattern);
+        assert_eq!(got.occurrences, want.occurrences, "occurrences diverge for {pattern:?}");
+        assert_eq!(got.value, want.value, "value diverges for {pattern:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Queries over any segmented layout equal a from-scratch build.
+    #[test]
+    fn segmented_queries_equal_from_scratch_build(
+        base in letters(120),
+        appended in letters(200),
+        seal_threshold in 1usize..40,
+        compact_fanout in 2usize..6,
+        schedule_seed in any::<u64>(),
+    ) {
+        let base_ws =
+            WeightedString::new(base.clone(), weights_for(1, base.len())).unwrap();
+        let mut idx = IngestIndex::new(
+            UsiBuilder::new().with_k(15).deterministic(9).build(base_ws),
+            IngestOptions {
+                seal_threshold,
+                compact_fanout,
+                ..IngestOptions::default()
+            },
+        );
+        // random compaction schedule: sometimes after a push, sometimes
+        // never, sometimes to quiescence
+        let mut schedule = StdRng::seed_from_u64(schedule_seed);
+        let appended_weights = weights_for(2, appended.len());
+        for (&letter, &weight) in appended.iter().zip(&appended_weights) {
+            idx.push(letter, weight);
+            match schedule.gen_range(0..10) {
+                0 => {
+                    idx.compact_once();
+                }
+                1 => idx.compact_to_quiescence(),
+                _ => {}
+            }
+        }
+        let patterns = sample_patterns(&idx.text(), schedule_seed ^ 0xabcd);
+        assert_matches_scratch(&idx, 15, 9, &patterns);
+
+        // full quiescence afterwards changes nothing observable
+        idx.compact_to_quiescence();
+        assert_matches_scratch(&idx, 15, 9, &patterns);
+    }
+
+    /// A crash (drop without any shutdown step) followed by a WAL
+    /// replay restores the same answers.
+    #[test]
+    fn wal_replay_restores_the_same_state(
+        base in letters(60),
+        appended in letters(120),
+        seal_threshold in 1usize..24,
+        batch_seed in any::<u64>(),
+    ) {
+        let dir = std::env::temp_dir().join("usi-ingest-equivalence");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("replay-{batch_seed:016x}.usil"));
+        let _ = std::fs::remove_file(&path);
+
+        let config = IngestConfig {
+            seal_threshold,
+            compact_fanout: 3,
+            sync_wal: false, // the test tears down cleanly; torture is in wal_torture.rs
+            ..IngestConfig::default()
+        };
+        let build_base = || {
+            let ws = WeightedString::new(base.clone(), weights_for(3, base.len())).unwrap();
+            UsiBuilder::new().with_k(10).deterministic(4).build(ws)
+        };
+        let (pipeline, _) = IngestPipeline::open(build_base(), &path, config).unwrap();
+        // split the appends into random batches
+        let mut rng = StdRng::seed_from_u64(batch_seed);
+        let appended_weights = weights_for(5, appended.len());
+        let mut at = 0usize;
+        while at < appended.len() {
+            let take = rng.gen_range(1..=appended.len() - at);
+            pipeline
+                .append(&appended[at..at + take], &appended_weights[at..at + take])
+                .unwrap();
+            at += take;
+        }
+        let full_text = pipeline.with_state(|s| s.text());
+        drop(pipeline); // simulated crash
+
+        let (reopened, replay) = IngestPipeline::open(build_base(), &path, config).unwrap();
+        prop_assert!(!replay.truncated);
+        prop_assert_eq!(reopened.with_state(|s| s.text()), full_text.clone());
+
+        // recovered answers equal a from-scratch build of the whole text
+        let full = WeightedString::new(
+            reopened.with_state(|s| s.text()),
+            reopened.with_state(|s| s.weights()),
+        )
+        .unwrap();
+        let scratch = UsiBuilder::new().with_k(10).deterministic(4).build(full);
+        for pattern in sample_patterns(&full_text, batch_seed ^ 0x77) {
+            let got = reopened.query(&pattern);
+            let want = scratch.query(&pattern);
+            prop_assert!(
+                got.occurrences == want.occurrences && got.value == want.value,
+                "replayed answer diverges for {:?}: {:?} vs {:?}",
+                pattern,
+                got,
+                want
+            );
+        }
+        drop(reopened);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,12 +1,18 @@
-//! A sharded multi-index registry: many [`UsiIndex`]es ("documents")
-//! served from one process.
+//! A sharded multi-index registry: many documents — frozen
+//! [`UsiIndex`]es or live [`IngestPipeline`]s — served from one
+//! process.
 //!
 //! Documents are partitioned over a fixed number of shards by a hash of
 //! their id. Each shard is an `RwLock<map>` whose values are
 //! `Arc<Doc>`: a query takes the shard read-lock only long enough to
-//! clone the `Arc`, then runs against the immutable index with no lock
+//! clone the `Arc`, then runs against the document with no shard lock
 //! held — so long queries never block loads and loads never block
 //! queries on other shards.
+//!
+//! Every document carries a small pattern → answer LRU cache
+//! ([`usi_strings::LruCache`], the same implementation BSL2 uses) on
+//! the single-document hot path, invalidated whenever an append makes
+//! it stale; hit/miss counters surface in `/v1/docs/{id}/stats`.
 //!
 //! Query surface:
 //!
@@ -15,31 +21,263 @@
 //!   in contiguous chunks (answers stay in pattern order).
 //! * [`Catalog::query_all`] / [`Catalog::query_all_batch`] — fan-out: a
 //!   pattern's utility on every loaded document, plus the merged
-//!   accumulator across documents (the whole-corpus answer).
+//!   accumulator across documents (the whole-corpus answer), combined
+//!   through the shared [`usi_core::merge`] helper — the same
+//!   implementation the ingestion layer uses to merge per-segment
+//!   answers.
 
 use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
-use std::sync::{Arc, RwLock};
-use usi_core::{PersistError, QuerySource, UsiIndex, UsiQuery};
-use usi_strings::UtilityAccumulator;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use usi_core::index::IndexSize;
+use usi_core::{merged_total, PersistError, QuerySource, UsiIndex, UsiQuery};
+use usi_ingest::{IngestError, IngestPipeline, IngestStats};
+use usi_strings::{GlobalUtility, LruCache, UtilityAccumulator};
 
-/// A named, immutable, queryable index held by a [`Catalog`].
+/// Entries per document in the pattern → answer cache. Patterns are
+/// short and answers are `Copy`, so this costs a few tens of KiB per
+/// hot document.
+const PATTERN_CACHE_CAPACITY: usize = 1024;
+
+/// What answers a document's queries.
+#[derive(Debug)]
+enum Backend {
+    /// A frozen index loaded from a `.usix` file or built in-process.
+    Static(UsiIndex),
+    /// A live, append-able ingestion pipeline (WAL + segments + tail).
+    Ingest(IngestPipeline),
+}
+
+/// Errors from appending to a document.
+#[derive(Debug)]
+pub enum AppendError {
+    /// The document is a frozen index, not an ingestion pipeline.
+    StaticDoc,
+    /// The pipeline rejected or failed the append.
+    Ingest(IngestError),
+}
+
+impl std::fmt::Display for AppendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::StaticDoc => write!(f, "document is not ingest-enabled"),
+            Self::Ingest(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for AppendError {}
+
+/// A named, queryable document held by a [`Catalog`].
 #[derive(Debug)]
 pub struct Doc {
     id: String,
-    index: UsiIndex,
+    backend: Backend,
+    /// Pattern → answer cache for the single-document hot path.
+    cache: Mutex<LruCache<Vec<u8>, UsiQuery>>,
+    /// Bumped (under the cache lock) on every append, so an in-flight
+    /// query cannot insert a pre-append answer afterwards.
+    generation: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
 }
 
 impl Doc {
+    fn new(id: String, backend: Backend) -> Self {
+        Self {
+            id,
+            backend,
+            cache: Mutex::new(LruCache::new(PATTERN_CACHE_CAPACITY)),
+            generation: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+        }
+    }
+
     /// The document id (file stem for documents loaded from disk).
     pub fn id(&self) -> &str {
         &self.id
     }
 
-    /// The underlying index.
-    pub fn index(&self) -> &UsiIndex {
-        &self.index
+    /// The underlying frozen index; `None` for ingest-enabled
+    /// documents (whose state is segmented and changes under appends).
+    pub fn index(&self) -> Option<&UsiIndex> {
+        match &self.backend {
+            Backend::Static(index) => Some(index),
+            Backend::Ingest(_) => None,
+        }
+    }
+
+    /// The live ingestion pipeline; `None` for frozen documents.
+    pub fn ingest(&self) -> Option<&IngestPipeline> {
+        match &self.backend {
+            Backend::Static(_) => None,
+            Backend::Ingest(pipeline) => Some(pipeline),
+        }
+    }
+
+    /// Whether the document accepts appends.
+    pub fn is_ingest(&self) -> bool {
+        matches!(self.backend, Backend::Ingest(_))
+    }
+
+    /// Total indexed letters (for ingest documents: base + segments +
+    /// tail).
+    pub fn n(&self) -> usize {
+        match &self.backend {
+            Backend::Static(index) => index.text().len(),
+            Backend::Ingest(pipeline) => pipeline.with_state(|s| s.len()),
+        }
+    }
+
+    /// Cached substrings in the hash table(s) `H` (summed over base and
+    /// segments for ingest documents).
+    pub fn cached_substrings(&self) -> usize {
+        match &self.backend {
+            Backend::Static(index) => index.cached_substrings(),
+            Backend::Ingest(pipeline) => pipeline.with_state(|s| {
+                s.base().cached_substrings()
+                    + s.segments().iter().map(|seg| seg.index().cached_substrings()).sum::<usize>()
+            }),
+        }
+    }
+
+    /// The utility function shared by every component of the document.
+    pub fn utility(&self) -> GlobalUtility {
+        match &self.backend {
+            Backend::Static(index) => index.utility(),
+            Backend::Ingest(pipeline) => pipeline.with_state(|s| s.utility()),
+        }
+    }
+
+    /// `τ_K` of the (base) index, when built exactly.
+    pub fn tau(&self) -> Option<u32> {
+        match &self.backend {
+            Backend::Static(index) => index.stats().tau,
+            Backend::Ingest(pipeline) => pipeline.with_state(|s| s.base().stats().tau),
+        }
+    }
+
+    /// `L_K` of the (base) index.
+    pub fn distinct_lengths(&self) -> usize {
+        match &self.backend {
+            Backend::Static(index) => index.stats().distinct_lengths,
+            Backend::Ingest(pipeline) => pipeline.with_state(|s| s.base().stats().distinct_lengths),
+        }
+    }
+
+    /// Size breakdown (summed over base, segments and tail for ingest
+    /// documents).
+    pub fn size_breakdown(&self) -> IndexSize {
+        match &self.backend {
+            Backend::Static(index) => index.size_breakdown(),
+            Backend::Ingest(pipeline) => pipeline.with_state(|s| s.size_breakdown()),
+        }
+    }
+
+    /// Bounded-staleness statistics; `None` for frozen documents.
+    pub fn ingest_stats(&self) -> Option<IngestStats> {
+        self.ingest().map(IngestPipeline::stats)
+    }
+
+    /// `(hits, misses)` of the pattern cache since load.
+    pub fn cache_counters(&self) -> (u64, u64) {
+        (self.cache_hits.load(Ordering::Relaxed), self.cache_misses.load(Ordering::Relaxed))
+    }
+
+    /// Appends weighted letters; only ingest-enabled documents accept.
+    /// Invalidates the pattern cache before returning, so no later
+    /// query can see a pre-append answer.
+    pub fn append(&self, text: &[u8], weights: &[f64]) -> Result<(), AppendError> {
+        let Backend::Ingest(pipeline) = &self.backend else {
+            return Err(AppendError::StaticDoc);
+        };
+        pipeline.append(text, weights).map_err(AppendError::Ingest)?;
+        let mut cache = self.cache.lock().expect("pattern cache lock poisoned");
+        self.generation.fetch_add(1, Ordering::SeqCst);
+        cache.clear();
+        Ok(())
+    }
+
+    /// Computes answers for `patterns` straight from the backend,
+    /// bypassing the cache. Both backends spread the batch over up to
+    /// `threads` scoped workers in contiguous chunks — a pipeline's
+    /// state lock is a read-write lock, so concurrent chunk readers
+    /// don't exclude each other.
+    fn compute_batch(&self, patterns: &[&[u8]], threads: usize) -> Vec<UsiQuery> {
+        let run = |part: &[&[u8]]| match &self.backend {
+            Backend::Static(index) => index.query_batch(part),
+            Backend::Ingest(pipeline) => pipeline.query_batch(part),
+        };
+        let threads = threads.max(1).min(patterns.len().max(1));
+        if threads == 1 {
+            return run(patterns);
+        }
+        let chunk = patterns.len().div_ceil(threads);
+        let answers: Vec<Vec<UsiQuery>> = std::thread::scope(|scope| {
+            let run = &run;
+            let handles: Vec<_> =
+                patterns.chunks(chunk).map(|part| scope.spawn(move || run(part))).collect();
+            handles.into_iter().map(|h| h.join().expect("query worker panicked")).collect()
+        });
+        answers.into_iter().flatten().collect()
+    }
+
+    /// Answers one pattern through the cache.
+    pub fn query(&self, pattern: &[u8]) -> UsiQuery {
+        self.query_batch(&[pattern], 1).pop().expect("one pattern in, one answer out")
+    }
+
+    /// Answers a pattern batch through the cache: cached patterns are
+    /// served from the LRU, the misses go to the backend (threaded),
+    /// and fresh answers are inserted unless an append invalidated the
+    /// document meanwhile. Answers are in pattern order and identical
+    /// to computing each pattern directly.
+    pub fn query_batch(&self, patterns: &[&[u8]], threads: usize) -> Vec<UsiQuery> {
+        let mut answers: Vec<Option<UsiQuery>> = vec![None; patterns.len()];
+        let mut miss_at: Vec<usize> = Vec::new();
+        let generation = self.generation.load(Ordering::SeqCst);
+        {
+            let mut cache = self.cache.lock().expect("pattern cache lock poisoned");
+            for (i, &pattern) in patterns.iter().enumerate() {
+                match cache.get(pattern) {
+                    Some(&answer) => answers[i] = Some(answer),
+                    None => miss_at.push(i),
+                }
+            }
+        }
+        self.cache_hits.fetch_add((patterns.len() - miss_at.len()) as u64, Ordering::Relaxed);
+        self.cache_misses.fetch_add(miss_at.len() as u64, Ordering::Relaxed);
+        if !miss_at.is_empty() {
+            let miss_patterns: Vec<&[u8]> = miss_at.iter().map(|&i| patterns[i]).collect();
+            let computed = self.compute_batch(&miss_patterns, threads);
+            let mut cache = self.cache.lock().expect("pattern cache lock poisoned");
+            // an append bumps the generation under this lock before
+            // clearing: equal generations mean these answers are current
+            let fresh = self.generation.load(Ordering::SeqCst) == generation;
+            for (&i, &answer) in miss_at.iter().zip(&computed) {
+                if fresh {
+                    cache.insert(patterns[i].to_vec(), answer);
+                }
+                answers[i] = Some(answer);
+            }
+        }
+        answers.into_iter().map(|a| a.expect("every pattern answered")).collect()
+    }
+
+    /// Raw accumulators for a pattern batch, so fan-out callers can
+    /// merge per-document occurrences before extracting aggregates.
+    /// Bypasses the pattern cache (accumulators, not finished answers).
+    pub fn query_accumulator_batch(
+        &self,
+        patterns: &[&[u8]],
+    ) -> Vec<(UtilityAccumulator, QuerySource)> {
+        match &self.backend {
+            Backend::Static(index) => index.query_accumulator_batch(patterns),
+            Backend::Ingest(pipeline) => pipeline.query_accumulator_batch(patterns),
+        }
     }
 }
 
@@ -65,6 +303,9 @@ pub enum CatalogError {
     Io(String, io::Error),
     /// The file exists but is not a valid `.usix` index, with the path.
     Load(String, PersistError),
+    /// The index loaded but its ingestion pipeline (WAL open/replay)
+    /// failed, with the WAL path.
+    Ingest(String, IngestError),
 }
 
 impl std::fmt::Display for CatalogError {
@@ -72,6 +313,7 @@ impl std::fmt::Display for CatalogError {
         match self {
             Self::Io(path, e) => write!(f, "{path}: {e}"),
             Self::Load(path, e) => write!(f, "{path}: {e}"),
+            Self::Ingest(path, e) => write!(f, "{path}: {e}"),
         }
     }
 }
@@ -113,13 +355,25 @@ impl Catalog {
         &self.shards[(shard_hash(id) % self.shards.len() as u64) as usize]
     }
 
-    /// Inserts (or replaces) a document built in-process from raw text +
-    /// weights or loaded elsewhere. Returns the shared handle.
-    pub fn insert(&self, id: impl Into<String>, index: UsiIndex) -> Arc<Doc> {
-        let id = id.into();
-        let doc = Arc::new(Doc { id: id.clone(), index });
+    fn register(&self, id: String, backend: Backend) -> Arc<Doc> {
+        let doc = Arc::new(Doc::new(id.clone(), backend));
         self.shard_of(&id).write().expect("shard lock poisoned").insert(id, Arc::clone(&doc));
         doc
+    }
+
+    /// Inserts (or replaces) a frozen document built in-process from
+    /// raw text + weights or loaded elsewhere. Returns the shared
+    /// handle.
+    pub fn insert(&self, id: impl Into<String>, index: UsiIndex) -> Arc<Doc> {
+        self.register(id.into(), Backend::Static(index))
+    }
+
+    /// Inserts (or replaces) a live ingest-enabled document: queries
+    /// see base + segments + tail, and `POST /v1/docs/{id}/append`
+    /// (or [`Doc::append`]) grows it durably through the pipeline's
+    /// write-ahead log.
+    pub fn insert_ingest(&self, id: impl Into<String>, pipeline: IngestPipeline) -> Arc<Doc> {
+        self.register(id.into(), Backend::Ingest(pipeline))
     }
 
     /// Reads and validates one `.usix` file without touching the
@@ -137,6 +391,25 @@ impl Catalog {
     pub fn load_usix(&self, path: &Path) -> Result<Arc<Doc>, CatalogError> {
         let (id, index) = Self::parse_usix(path)?;
         Ok(self.insert(id, index))
+    }
+
+    /// Loads one `.usix` file straight into an ingest-enabled document
+    /// with its write-ahead log at `wal_path` (created if absent,
+    /// replayed — torn tail truncated — if present). The index is
+    /// parsed exactly once and moves into the pipeline: no transient
+    /// static copy is ever registered, so promoting a large corpus
+    /// costs no extra peak memory. Returns the doc and the WAL replay
+    /// report.
+    pub fn load_usix_ingest(
+        &self,
+        path: &Path,
+        wal_path: &Path,
+        config: usi_ingest::IngestConfig,
+    ) -> Result<(Arc<Doc>, usi_ingest::Replay), CatalogError> {
+        let (id, index) = Self::parse_usix(path)?;
+        let (pipeline, replay) = IngestPipeline::open(index, wal_path, config)
+            .map_err(|e| CatalogError::Ingest(wal_path.display().to_string(), e))?;
+        Ok((self.insert_ingest(id, pipeline), replay))
     }
 
     /// Loads a path that is either one `.usix` file or a directory whose
@@ -246,10 +519,10 @@ impl Catalog {
 
     /// Queries one document; `None` if the id is not loaded.
     pub fn query(&self, id: &str, pattern: &[u8]) -> Option<UsiQuery> {
-        self.get(id).map(|doc| doc.index.query(pattern))
+        self.get(id).map(|doc| doc.query(pattern))
     }
 
-    /// Batch-queries one document, spreading the patterns over up to
+    /// Batch-queries one document, spreading cache misses over up to
     /// `threads` scoped workers in contiguous chunks. Answers are in
     /// pattern order and identical to the serial loop. `None` if the id
     /// is not loaded.
@@ -260,23 +533,7 @@ impl Catalog {
         threads: usize,
     ) -> Option<Vec<UsiQuery>> {
         let doc = self.get(id)?;
-        Some(Self::batch_on(&doc.index, patterns, threads))
-    }
-
-    fn batch_on(index: &UsiIndex, patterns: &[&[u8]], threads: usize) -> Vec<UsiQuery> {
-        let threads = threads.max(1).min(patterns.len().max(1));
-        if threads == 1 {
-            return index.query_batch(patterns);
-        }
-        let chunk = patterns.len().div_ceil(threads);
-        let answers: Vec<Vec<UsiQuery>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = patterns
-                .chunks(chunk)
-                .map(|part| scope.spawn(move || index.query_batch(part)))
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("query worker panicked")).collect()
-        });
-        answers.into_iter().flatten().collect()
+        Some(doc.query_batch(patterns, threads))
     }
 
     /// Fan-out: one pattern's utility on every loaded document plus the
@@ -297,7 +554,7 @@ impl Catalog {
         let threads = threads.max(1).min(docs.len().max(1));
         // per document: the raw accumulators for every pattern
         let per_doc: Vec<Vec<(UtilityAccumulator, QuerySource)>> = if threads == 1 {
-            docs.iter().map(|doc| doc.index().query_accumulator_batch(patterns)).collect()
+            docs.iter().map(|doc| doc.query_accumulator_batch(patterns)).collect()
         } else {
             let chunk = docs.len().div_ceil(threads);
             let parts: Vec<Vec<Vec<(UtilityAccumulator, QuerySource)>>> =
@@ -307,7 +564,7 @@ impl Catalog {
                         .map(|part| {
                             scope.spawn(move || {
                                 part.iter()
-                                    .map(|doc| doc.index().query_accumulator_batch(patterns))
+                                    .map(|doc| doc.query_accumulator_batch(patterns))
                                     .collect::<Vec<_>>()
                             })
                         })
@@ -320,30 +577,25 @@ impl Catalog {
             parts.into_iter().flatten().collect()
         };
 
-        let shared_utility = docs.first().map(|d| d.index().utility());
-        let uniform = docs.iter().all(|d| Some(d.index().utility()) == shared_utility);
+        let utilities: Vec<GlobalUtility> = docs.iter().map(|d| d.utility()).collect();
         (0..patterns.len())
             .map(|pi| {
-                let mut merged = UtilityAccumulator::new();
                 let mut results = Vec::with_capacity(docs.len());
-                for (doc, answers) in docs.iter().zip(&per_doc) {
+                let mut parts: Vec<(GlobalUtility, UtilityAccumulator)> =
+                    Vec::with_capacity(docs.len());
+                for ((doc, answers), &utility) in docs.iter().zip(&per_doc).zip(&utilities) {
                     let (acc, source) = answers[pi];
-                    merged.merge(&acc);
-                    let value = acc.finish(doc.index().utility().aggregator);
+                    parts.push((utility, acc));
+                    let value = acc.finish(utility.aggregator);
                     results.push((
                         doc.id().to_string(),
                         UsiQuery { value, occurrences: acc.count(), source },
                     ));
                 }
-                FanOut {
-                    per_doc: results,
-                    total_occurrences: merged.count(),
-                    total_value: if uniform {
-                        shared_utility.and_then(|u| merged.finish(u.aggregator))
-                    } else {
-                        None
-                    },
-                }
+                // merged through the shared helper the ingest layer
+                // also uses — one implementation of the merge semantics
+                let (total_occurrences, total_value) = merged_total(&parts);
+                FanOut { per_doc: results, total_occurrences, total_value }
             })
             .collect()
     }
@@ -355,6 +607,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     use usi_core::UsiBuilder;
+    use usi_ingest::IngestConfig;
     use usi_strings::{GlobalAggregator, WeightedString};
 
     fn sample_ws(seed: u64, n: usize) -> WeightedString {
@@ -375,6 +628,26 @@ mod tests {
             ids.push(id);
         }
         (catalog, ids)
+    }
+
+    fn ingest_doc(catalog: &Catalog, id: &str, seed: u64) -> Arc<Doc> {
+        let dir = std::env::temp_dir().join("usi-catalog-ingest-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let wal = dir.join(format!("{id}-{seed}.usil"));
+        let _ = std::fs::remove_file(&wal);
+        let base = UsiBuilder::new().with_k(20).deterministic(seed).build(sample_ws(seed, 300));
+        let (pipeline, _) = IngestPipeline::open(
+            base,
+            &wal,
+            IngestConfig {
+                seal_threshold: 8,
+                compact_fanout: 2,
+                sync_wal: false,
+                ..IngestConfig::default()
+            },
+        )
+        .unwrap();
+        catalog.insert_ingest(id, pipeline)
     }
 
     #[test]
@@ -406,7 +679,7 @@ mod tests {
         let (catalog, ids) = filled_catalog();
         let doc = catalog.get(&ids[0]).unwrap();
         let mut rng = StdRng::seed_from_u64(77);
-        let text = doc.index().text().to_vec();
+        let text = doc.index().unwrap().text().to_vec();
         let patterns: Vec<Vec<u8>> = (0..100)
             .map(|_| {
                 let m = rng.gen_range(1..8usize);
@@ -416,12 +689,65 @@ mod tests {
             .chain([b"zzz".to_vec(), Vec::new()])
             .collect();
         let refs: Vec<&[u8]> = patterns.iter().map(Vec::as_slice).collect();
-        let serial: Vec<UsiQuery> = refs.iter().map(|p| doc.index().query(p)).collect();
-        assert_eq!(doc.index().query_batch(&refs), serial);
+        let serial: Vec<UsiQuery> = refs.iter().map(|p| doc.index().unwrap().query(p)).collect();
+        assert_eq!(doc.index().unwrap().query_batch(&refs), serial);
         for threads in [1, 2, 3, 8, 64] {
             assert_eq!(catalog.query_batch(&ids[0], &refs, threads).unwrap(), serial);
         }
         assert!(catalog.query_batch("nope", &refs, 2).is_none());
+    }
+
+    #[test]
+    fn pattern_cache_serves_hits_and_counts_them() {
+        let (catalog, ids) = filled_catalog();
+        let doc = catalog.get(&ids[0]).unwrap();
+        assert_eq!(doc.cache_counters(), (0, 0));
+        let direct = doc.index().unwrap().query(b"ab");
+        assert_eq!(doc.query(b"ab"), direct);
+        assert_eq!(doc.cache_counters(), (0, 1));
+        // the second probe is a hit and still the same answer
+        assert_eq!(doc.query(b"ab"), direct);
+        assert_eq!(doc.cache_counters(), (1, 1));
+        // a batch with one known and one new pattern: one hit, one miss
+        let answers = doc.query_batch(&[b"ab", b"ba"], 4);
+        assert_eq!(answers[0], direct);
+        assert_eq!(answers[1], doc.index().unwrap().query(b"ba"));
+        assert_eq!(doc.cache_counters(), (2, 2));
+        // frozen documents refuse appends
+        assert!(matches!(doc.append(b"a", &[1.0]), Err(AppendError::StaticDoc)));
+    }
+
+    #[test]
+    fn ingest_docs_append_invalidate_and_serve() {
+        let catalog = Catalog::new(2);
+        let doc = ingest_doc(&catalog, "live", 91);
+        assert!(doc.is_ingest());
+        assert!(doc.index().is_none());
+        let n0 = doc.n();
+        let before = doc.query(b"abc");
+        assert_eq!(doc.query(b"abc"), before); // cached now
+        let (hits, _) = doc.cache_counters();
+        assert_eq!(hits, 1);
+
+        doc.append(b"abcabcabcabc", &[1.0; 12]).unwrap();
+        assert_eq!(doc.n(), n0 + 12);
+        let after = doc.query(b"abc");
+        assert!(
+            after.occurrences >= before.occurrences + 4,
+            "append must be visible: {before:?} → {after:?}"
+        );
+        // the post-append answer agrees with a from-scratch build
+        let pipeline = doc.ingest().unwrap();
+        let full = WeightedString::new(
+            pipeline.with_state(|s| s.text()),
+            pipeline.with_state(|s| s.weights()),
+        )
+        .unwrap();
+        let scratch = UsiBuilder::new().with_k(20).deterministic(91).build(full);
+        assert_eq!(after.occurrences, scratch.query(b"abc").occurrences);
+        let stats = doc.ingest_stats().unwrap();
+        assert!(stats.seals >= 1);
+        assert!(stats.wal_bytes > 8);
     }
 
     #[test]
@@ -454,6 +780,19 @@ mod tests {
                 assert_eq!(fan.total_value, single.total_value);
             }
         }
+    }
+
+    #[test]
+    fn fan_out_includes_ingest_docs() {
+        let (catalog, _) = filled_catalog();
+        let doc = ingest_doc(&catalog, "live", 92);
+        doc.append(b"ababab", &[0.5; 6]).unwrap();
+        let fan = catalog.query_all(b"ab");
+        assert_eq!(fan.per_doc.len(), 4);
+        let live = fan.per_doc.iter().find(|(id, _)| id == "live").unwrap();
+        assert_eq!(live.1, doc.query(b"ab"));
+        let sum: u64 = fan.per_doc.iter().map(|(_, q)| q.occurrences).sum();
+        assert_eq!(fan.total_occurrences, sum);
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! |---|---|
 //! | `GET /healthz` | `{"status":"ok","docs":N}` |
 //! | `GET /v1/docs` | the loaded documents with per-doc summaries |
-//! | `GET /v1/docs/{id}/stats` | size breakdown and build stats of one document |
+//! | `GET /v1/docs/{id}/stats` | size breakdown, build, cache and ingest stats of one document |
+//! | `POST /v1/docs/{id}/append` | durable append to an ingest-enabled document: body `{"text":"…","weight":w}` or `{"text":"…","weights":[…]}` |
 //! | `POST /v1/query` | batch utilities: body `{"doc":"<id>"` or `"*","patterns":[…]}` |
 //!
 //! The implementation is deliberately small: request parsing handles
@@ -17,7 +18,7 @@
 //! the accept loop, lets queued connections finish, and joins every
 //! thread.
 
-use crate::catalog::Catalog;
+use crate::catalog::{AppendError, Catalog};
 use crate::json::{fan_out_response_json, query_response_json, Json};
 use crate::pool::WorkerPool;
 use std::io::{self, Read, Write};
@@ -26,6 +27,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+use usi_ingest::IngestError;
 
 /// Longest accepted request head (request line + headers).
 const MAX_HEAD: usize = 16 * 1024;
@@ -260,6 +262,7 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
         413 => "Payload Too Large",
         _ => "Internal Server Error",
     }
@@ -300,18 +303,26 @@ fn route(catalog: &Catalog, request: &Request, batch_threads: usize) -> Response
         ])),
         ("GET", "/v1/docs") => list_docs(catalog),
         ("POST", "/v1/query") => query(catalog, &request.body, batch_threads),
-        ("GET", _) if doc_stats_id(path).is_some() => {
-            doc_stats(catalog, doc_stats_id(path).expect("checked by guard"))
+        ("GET", _) if doc_sub_id(path, "stats").is_some() => {
+            doc_stats(catalog, doc_sub_id(path, "stats").expect("checked by guard"))
         }
+        ("POST", _) if doc_sub_id(path, "append").is_some() => doc_append(
+            catalog,
+            doc_sub_id(path, "append").expect("checked by guard"),
+            &request.body,
+        ),
         (_, "/healthz" | "/v1/docs" | "/v1/query") => error_response(405, "method not allowed"),
-        (_, _) if doc_stats_id(path).is_some() => error_response(405, "method not allowed"),
+        (_, _) if doc_sub_id(path, "stats").is_some() || doc_sub_id(path, "append").is_some() => {
+            error_response(405, "method not allowed")
+        }
         _ => error_response(404, "no such route"),
     }
 }
 
-/// Parses `/v1/docs/{id}/stats` into `{id}`.
-fn doc_stats_id(path: &str) -> Option<&str> {
-    let id = path.strip_prefix("/v1/docs/")?.strip_suffix("/stats")?;
+/// Parses `/v1/docs/{id}/{action}` into `{id}`.
+fn doc_sub_id<'p>(path: &'p str, action: &str) -> Option<&'p str> {
+    let rest = path.strip_prefix("/v1/docs/")?;
+    let id = rest.strip_suffix(action)?.strip_suffix('/')?;
     if id.is_empty() || id.contains('/') {
         None
     } else {
@@ -324,12 +335,12 @@ fn list_docs(catalog: &Catalog) -> Response {
         .docs()
         .iter()
         .map(|doc| {
-            let index = doc.index();
             Json::Obj(vec![
                 ("id".into(), Json::str(doc.id())),
-                ("n".into(), Json::Num(index.text().len() as f64)),
-                ("cached_substrings".into(), Json::Num(index.cached_substrings() as f64)),
-                ("aggregator".into(), Json::str(index.utility().aggregator.name())),
+                ("n".into(), Json::Num(doc.n() as f64)),
+                ("cached_substrings".into(), Json::Num(doc.cached_substrings() as f64)),
+                ("aggregator".into(), Json::str(doc.utility().aggregator.name())),
+                ("ingest".into(), Json::Bool(doc.is_ingest())),
             ])
         })
         .collect();
@@ -340,16 +351,15 @@ fn doc_stats(catalog: &Catalog, id: &str) -> Response {
     let Some(doc) = catalog.get(id) else {
         return error_response(404, &format!("no such document {id:?}"));
     };
-    let index = doc.index();
-    let stats = index.stats();
-    let size = index.size_breakdown();
-    ok(Json::Obj(vec![
+    let size = doc.size_breakdown();
+    let (cache_hits, cache_misses) = doc.cache_counters();
+    let mut members = vec![
         ("id".into(), Json::str(doc.id())),
-        ("n".into(), Json::Num(index.text().len() as f64)),
-        ("cached_substrings".into(), Json::Num(index.cached_substrings() as f64)),
-        ("tau".into(), stats.tau.map_or(Json::Null, |t| Json::Num(t as f64))),
-        ("distinct_lengths".into(), Json::Num(stats.distinct_lengths as f64)),
-        ("aggregator".into(), Json::str(index.utility().aggregator.name())),
+        ("n".into(), Json::Num(doc.n() as f64)),
+        ("cached_substrings".into(), Json::Num(doc.cached_substrings() as f64)),
+        ("tau".into(), doc.tau().map_or(Json::Null, |t| Json::Num(t as f64))),
+        ("distinct_lengths".into(), Json::Num(doc.distinct_lengths() as f64)),
+        ("aggregator".into(), Json::str(doc.utility().aggregator.name())),
         (
             "bytes".into(),
             Json::Obj(vec![
@@ -361,7 +371,96 @@ fn doc_stats(catalog: &Catalog, id: &str) -> Response {
                 ("total".into(), Json::Num(size.total() as f64)),
             ]),
         ),
-    ]))
+        (
+            "cache".into(),
+            Json::Obj(vec![
+                ("hits".into(), Json::Num(cache_hits as f64)),
+                ("misses".into(), Json::Num(cache_misses as f64)),
+            ]),
+        ),
+    ];
+    if let Some(ingest) = doc.ingest_stats() {
+        // bounded-staleness stats: how far the segmented state lags a
+        // fully compacted one, and how much WAL a replay would chew
+        members.push((
+            "ingest".into(),
+            Json::Obj(vec![
+                ("segments".into(), Json::Num(ingest.segments as f64)),
+                ("tail".into(), Json::Num(ingest.tail_len as f64)),
+                ("wal_bytes".into(), Json::Num(ingest.wal_bytes as f64)),
+                ("seals".into(), Json::Num(ingest.seals as f64)),
+                ("compactions".into(), Json::Num(ingest.compactions as f64)),
+                (
+                    "last_compaction_ms".into(),
+                    ingest
+                        .last_compaction
+                        .map_or(Json::Null, |ago| Json::Num(ago.as_millis() as f64)),
+                ),
+            ]),
+        ));
+    }
+    ok(Json::Obj(members))
+}
+
+fn doc_append(catalog: &Catalog, id: &str, body: &[u8]) -> Response {
+    let Some(doc) = catalog.get(id) else {
+        return error_response(404, &format!("no such document {id:?}"));
+    };
+    let text = match std::str::from_utf8(body) {
+        Ok(text) => text,
+        Err(_) => return error_response(400, "body is not UTF-8"),
+    };
+    let parsed = match Json::parse(text) {
+        Ok(parsed) => parsed,
+        Err(e) => return error_response(400, &format!("invalid JSON body: {e}")),
+    };
+    let Some(letters) = parsed.get("text").and_then(Json::as_str) else {
+        return error_response(400, "missing string member \"text\"");
+    };
+    let letters = letters.as_bytes();
+    let weights: Vec<f64> = match (parsed.get("weights"), parsed.get("weight")) {
+        (Some(list), None) => {
+            let Some(items) = list.as_array() else {
+                return error_response(400, "\"weights\" must be an array of numbers");
+            };
+            let mut weights = Vec::with_capacity(items.len());
+            for item in items {
+                match item.as_f64() {
+                    Some(w) => weights.push(w),
+                    None => return error_response(400, "\"weights\" must be an array of numbers"),
+                }
+            }
+            weights
+        }
+        (None, Some(w)) => match w.as_f64() {
+            Some(w) => vec![w; letters.len()],
+            None => return error_response(400, "\"weight\" must be a number"),
+        },
+        (None, None) => vec![1.0; letters.len()],
+        (Some(_), Some(_)) => {
+            return error_response(400, "\"weight\" and \"weights\" are mutually exclusive")
+        }
+    };
+    match doc.append(letters, &weights) {
+        Ok(()) => {
+            let stats = doc.ingest_stats().expect("append succeeded on an ingest doc");
+            ok(Json::Obj(vec![
+                ("id".into(), Json::str(doc.id())),
+                ("appended".into(), Json::Num(letters.len() as f64)),
+                ("n".into(), Json::Num(stats.n as f64)),
+                ("segments".into(), Json::Num(stats.segments as f64)),
+                ("tail".into(), Json::Num(stats.tail_len as f64)),
+                ("wal_bytes".into(), Json::Num(stats.wal_bytes as f64)),
+            ]))
+        }
+        Err(AppendError::StaticDoc) => {
+            error_response(409, &format!("document {id:?} is not ingest-enabled"))
+        }
+        Err(AppendError::Ingest(IngestError::Input(what))) => {
+            error_response(400, &format!("invalid append: {what}"))
+        }
+        Err(e) => error_response(500, &format!("append failed: {e}")),
+    }
 }
 
 fn query(catalog: &Catalog, body: &[u8], batch_threads: usize) -> Response {
@@ -494,6 +593,84 @@ mod tests {
         assert_eq!(respond(&catalog, "GET", "/v1/docs/none/stats", b"").status, 404);
         assert_eq!(respond(&catalog, "GET", "/v1/docs//stats", b"").status, 404);
         assert_eq!(respond(&catalog, "DELETE", "/v1/docs/abra/stats", b"").status, 405);
+    }
+
+    fn ingest_catalog(name: &str) -> Catalog {
+        use usi_ingest::{IngestConfig, IngestPipeline};
+        let catalog = Catalog::new(2);
+        let ws = WeightedString::new(b"abcabcabc".to_vec(), vec![1.0; 9]).unwrap();
+        let index = UsiBuilder::new().with_k(6).deterministic(7).build(ws);
+        let dir = std::env::temp_dir().join("usi-http-ingest-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let wal = dir.join(format!("{name}.usil"));
+        let _ = std::fs::remove_file(&wal);
+        let (pipeline, _) = IngestPipeline::open(
+            index,
+            &wal,
+            IngestConfig {
+                seal_threshold: 4,
+                compact_fanout: 2,
+                sync_wal: false,
+                ..IngestConfig::default()
+            },
+        )
+        .unwrap();
+        catalog.insert_ingest("live", pipeline);
+        catalog
+    }
+
+    #[test]
+    fn append_route_grows_an_ingest_doc() {
+        let catalog = ingest_catalog("append-route");
+        // before: "abc" occurs 3 times
+        let r = respond(&catalog, "POST", "/v1/query", br#"{"doc":"live","patterns":["abc"]}"#);
+        assert!(r.body.contains(r#""occurrences":3"#), "{}", r.body);
+
+        let r = respond(&catalog, "POST", "/v1/docs/live/append", br#"{"text":"abcabc"}"#);
+        assert_eq!(r.status, 200, "{}", r.body);
+        let parsed = Json::parse(&r.body).unwrap();
+        assert_eq!(parsed.get("appended").and_then(Json::as_f64), Some(6.0));
+        assert_eq!(parsed.get("n").and_then(Json::as_f64), Some(15.0));
+
+        // after: "abc" occurs 5 times, boundary occurrence included
+        let r = respond(&catalog, "POST", "/v1/query", br#"{"doc":"live","patterns":["abc"]}"#);
+        assert!(r.body.contains(r#""occurrences":5"#), "{}", r.body);
+
+        // explicit weights must match the text length
+        let r = respond(
+            &catalog,
+            "POST",
+            "/v1/docs/live/append",
+            br#"{"text":"ab","weights":[0.5,0.25]}"#,
+        );
+        assert_eq!(r.status, 200, "{}", r.body);
+        let r =
+            respond(&catalog, "POST", "/v1/docs/live/append", br#"{"text":"ab","weights":[1]}"#);
+        assert_eq!(r.status, 400);
+
+        // stats expose the bounded-staleness and cache counters
+        let r = respond(&catalog, "GET", "/v1/docs/live/stats", b"");
+        assert_eq!(r.status, 200);
+        let parsed = Json::parse(&r.body).unwrap();
+        let ingest = parsed.get("ingest").expect("ingest section for a live doc");
+        assert!(ingest.get("segments").and_then(Json::as_f64).is_some());
+        assert!(ingest.get("wal_bytes").and_then(Json::as_f64).unwrap() > 8.0);
+        assert!(parsed.get("cache").and_then(|c| c.get("misses")).is_some());
+    }
+
+    #[test]
+    fn append_route_errors() {
+        let catalog = catalog(); // static-only
+        let r = respond(&catalog, "POST", "/v1/docs/abra/append", br#"{"text":"x"}"#);
+        assert_eq!(r.status, 409, "static docs must refuse appends: {}", r.body);
+        let r = respond(&catalog, "POST", "/v1/docs/gone/append", br#"{"text":"x"}"#);
+        assert_eq!(r.status, 404);
+        let r = respond(&catalog, "POST", "/v1/docs/abra/append", b"not json");
+        assert_eq!(r.status, 400);
+        let r = respond(&catalog, "POST", "/v1/docs/abra/append", br#"{"weight":1}"#);
+        assert_eq!(r.status, 400);
+        let r = respond(&catalog, "GET", "/v1/docs/abra/append", b"");
+        assert_eq!(r.status, 405);
     }
 
     #[test]

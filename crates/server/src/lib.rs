@@ -5,9 +5,11 @@
 //! workspace) and splits into three layers:
 //!
 //! * [`catalog`] — a sharded multi-index registry ([`Catalog`]): loads
-//!   `.usix` files or in-process builds, routes queries by document id,
-//!   fans out across every document, and spreads batches over
-//!   `std::thread::scope` workers;
+//!   `.usix` files or in-process builds, hosts live ingest-enabled
+//!   documents (`usi_ingest::IngestPipeline` behind
+//!   `POST /v1/docs/{id}/append`), routes queries by document id with a
+//!   per-document pattern → answer LRU cache, fans out across every
+//!   document, and spreads batches over `std::thread::scope` workers;
 //! * [`json`] — a hand-rolled JSON value/parser/encoder plus the API
 //!   encodings shared by the server, the CLI's `--json` mode and the
 //!   end-to-end tests;
@@ -33,7 +35,7 @@ pub mod http;
 pub mod json;
 pub mod pool;
 
-pub use catalog::{Catalog, CatalogError, Doc, FanOut};
+pub use catalog::{AppendError, Catalog, CatalogError, Doc, FanOut};
 pub use http::{respond, serve, Response, ServerConfig, ServerHandle};
 pub use json::{Json, JsonError};
 pub use pool::WorkerPool;

@@ -1,10 +1,14 @@
-//! A fixed-capacity LRU cache (the BSL2 replacement policy).
+//! A fixed-capacity LRU cache.
 //!
 //! Hash map + intrusive doubly-linked list over a slab, all `O(1)` per
 //! operation. Implemented from scratch — no external cache crates.
+//!
+//! Lives in the substrate crate so every consumer shares one
+//! implementation: `usi_baselines` uses it as the BSL2 replacement
+//! policy, `usi_server` as the per-document pattern → answer cache.
 
+use crate::FxHashMap;
 use std::hash::Hash;
-use usi_strings::FxHashMap;
 
 const NIL: u32 = u32::MAX;
 
@@ -19,7 +23,7 @@ struct Entry<K, V> {
 /// Least-recently-used cache with at most `capacity` entries.
 ///
 /// ```
-/// use usi_baselines::LruCache;
+/// use usi_strings::LruCache;
 /// let mut lru = LruCache::new(2);
 /// lru.insert("a", 1);
 /// lru.insert("b", 2);
@@ -96,14 +100,30 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         }
     }
 
-    /// Looks up `key`, marking it most-recently used.
-    pub fn get(&mut self, key: &K) -> Option<&V> {
+    /// Looks up `key`, marking it most-recently used. Accepts any
+    /// borrowed form of the key (e.g. `&[u8]` for `Vec<u8>` keys), so
+    /// hot-path lookups need not allocate an owned key.
+    pub fn get<Q>(&mut self, key: &Q) -> Option<&V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
         let idx = *self.map.get(key)?;
         if idx != self.head {
             self.detach(idx);
             self.push_front(idx);
         }
         Some(&self.slab[idx as usize].value)
+    }
+
+    /// Drops every entry, keeping the allocated capacity (used to
+    /// invalidate a pattern cache after an append or reload).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
     }
 
     /// Inserts or refreshes `key`; evicts the least-recently-used entry
@@ -184,6 +204,20 @@ mod tests {
         lru.insert("x", 1);
         assert_eq!(lru.insert("y", 2), Some(("x", 1)));
         assert_eq!(lru.get(&"y"), Some(&2));
+        assert_eq!(lru.len(), 1);
+    }
+
+    #[test]
+    fn borrowed_lookup_and_clear() {
+        let mut lru: LruCache<Vec<u8>, u32> = LruCache::new(4);
+        lru.insert(b"abra".to_vec(), 7);
+        // no allocation needed to probe by slice
+        assert_eq!(lru.get(&b"abra"[..]), Some(&7));
+        assert_eq!(lru.get(&b"zzz"[..]), None);
+        lru.clear();
+        assert!(lru.is_empty());
+        assert_eq!(lru.get(&b"abra"[..]), None);
+        lru.insert(b"new".to_vec(), 1);
         assert_eq!(lru.len(), 1);
     }
 

@@ -9,15 +9,25 @@
 //! usi topk  <text-file> --k K [--min-len L]
 //! usi tradeoff <text-file> [--points N]
 //! usi serve <dir-or-.usix>… [--addr HOST:PORT] [--workers N] [--shards N]
+//!           [--ingest-wal DIR] [--seal-threshold N] [--compact-fanout F]
+//! usi ingest <base.usix> --wal PATH [--seal-threshold N] [--compact-fanout F]
+//!           [--threads N] [--weight W] [--no-sync] [--json]
+//!           [--replay [--query P]…]
 //! ```
 //!
 //! Weights default to 1.0 per position; `--weights` reads
 //! whitespace-separated floats (one per text byte). `serve` runs the
 //! HTTP serving layer over every loaded index until stdin reaches EOF
-//! (or the process receives SIGINT).
+//! (or the process receives SIGINT); with `--ingest-wal DIR` every
+//! document becomes append-able (`POST /v1/docs/{id}/append`) with its
+//! write-ahead log at `DIR/<id>.usil`, replayed on startup. `ingest`
+//! opens one base index + WAL directly: `--replay` recovers the log and
+//! answers `--query` patterns (crash-recovery check), otherwise stdin
+//! lines `append <text>` / `appendw <w> <text>` / `query <p>` / `stats`
+//! drive the pipeline interactively.
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::TcpListener;
 use std::path::Path;
 use std::process::exit;
@@ -69,7 +79,7 @@ struct Args {
 
 /// Flags that never take a value (so `--json idx.usix` does not swallow
 /// the index path as the flag's value).
-const BOOLEAN_FLAGS: &[&str] = &["json"];
+const BOOLEAN_FLAGS: &[&str] = &["json", "replay", "no-sync"];
 
 impl Args {
     fn parse(raw: &[String]) -> Self {
@@ -101,6 +111,11 @@ impl Args {
 
     fn flag(&self, name: &str) -> Option<&str> {
         self.flags.iter().find(|(n, _)| n == name).and_then(|(_, v)| v.as_deref())
+    }
+
+    /// Every value of a repeatable flag (e.g. `--query a --query b`).
+    fn flags_all(&self, name: &str) -> Vec<&str> {
+        self.flags.iter().filter(|(n, _)| n == name).filter_map(|(_, v)| v.as_deref()).collect()
     }
 
     fn has(&self, name: &str) -> bool {
@@ -225,6 +240,46 @@ fn cmd_query(args: &Args) {
     }
 }
 
+/// The ingest knobs shared by `serve --ingest-wal` and `usi ingest`.
+fn ingest_config(args: &Args) -> IngestConfig {
+    let mut config = IngestConfig::default();
+    if let Some(t) = args.flag("seal-threshold") {
+        config.seal_threshold = t.parse().unwrap_or_else(|_| die("bad --seal-threshold"));
+    }
+    if let Some(f) = args.flag("compact-fanout") {
+        config.compact_fanout = f.parse().unwrap_or_else(|_| die("bad --compact-fanout"));
+    }
+    if let Some(t) = args.flag("threads") {
+        config.threads = t.parse().unwrap_or_else(|_| die("bad --threads"));
+    }
+    config.sync_wal = !args.has("no-sync");
+    config
+}
+
+/// Expands the serve arguments (files or directories) into the sorted
+/// list of `.usix` files, mirroring `Catalog::load_path`'s selection.
+fn usix_files(paths: &[String]) -> Vec<std::path::PathBuf> {
+    let mut files = Vec::new();
+    for path in paths {
+        let path = Path::new(path);
+        let meta = std::fs::metadata(path)
+            .unwrap_or_else(|e| die(&format!("cannot load {}: {e}", path.display())));
+        if !meta.is_dir() {
+            files.push(path.to_path_buf());
+            continue;
+        }
+        let mut entries: Vec<_> = std::fs::read_dir(path)
+            .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", path.display())))
+            .filter_map(Result::ok)
+            .map(|entry| entry.path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "usix"))
+            .collect();
+        entries.sort();
+        files.extend(entries);
+    }
+    files
+}
+
 fn cmd_serve(args: &Args) {
     if args.positional.is_empty() {
         die("serve expects at least one .usix file or directory of .usix files");
@@ -234,22 +289,59 @@ fn cmd_serve(args: &Args) {
     let workers: usize =
         args.flag("workers").map_or(4, |s| s.parse().unwrap_or_else(|_| die("bad --workers")));
     let addr = args.flag("addr").unwrap_or("127.0.0.1:7878");
+    let ingest_wal = args.flag("ingest-wal").map(std::path::PathBuf::from);
 
     let catalog = Arc::new(Catalog::new(shards));
     let mut seen = std::collections::HashSet::new();
-    for path in &args.positional {
-        let ids = catalog
-            .load_path(Path::new(path))
-            .unwrap_or_else(|e| die(&format!("cannot load {path}: {e}")));
-        for id in &ids {
-            // ids are file stems; a collision would silently shadow the
-            // earlier index, so refuse to serve ambiguous corpora
-            if !seen.insert(id.clone()) {
-                die(&format!("duplicate document id {id:?} (file stems must be unique)"));
+    if let Some(wal_dir) = &ingest_wal {
+        // every document is ingest-enabled: its index moves straight
+        // into a pipeline (no transient static copy), its WAL lives at
+        // DIR/<id>.usil and is replayed right now, and compaction runs
+        // on a background thread per document
+        std::fs::create_dir_all(wal_dir)
+            .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", wal_dir.display())));
+        let config = IngestConfig { background_compaction: true, ..ingest_config(args) };
+        for file in usix_files(&args.positional) {
+            let stem =
+                file.file_stem().map_or_else(String::new, |s| s.to_string_lossy().into_owned());
+            let wal_path = wal_dir.join(format!("{stem}.usil"));
+            let (doc, replay) = catalog
+                .load_usix_ingest(&file, &wal_path, config)
+                .unwrap_or_else(|e| die(&format!("cannot load {}: {e}", file.display())));
+            if !seen.insert(doc.id().to_string()) {
+                die(&format!("duplicate document id {:?} (file stems must be unique)", doc.id()));
             }
-            let doc = catalog.get(id).expect("just loaded");
-            eprintln!("loaded {id}: n = {}", doc.index().text().len());
+            if !replay.records.is_empty() || replay.truncated {
+                eprintln!(
+                    "replayed {} record(s) for {} from {}{}",
+                    replay.records.len(),
+                    doc.id(),
+                    wal_path.display(),
+                    if replay.truncated { " (torn tail dropped)" } else { "" },
+                );
+            }
         }
+    } else {
+        for path in &args.positional {
+            let ids = catalog
+                .load_path(Path::new(path))
+                .unwrap_or_else(|e| die(&format!("cannot load {path}: {e}")));
+            for id in &ids {
+                // ids are file stems; a collision would silently shadow
+                // the earlier index, so refuse to serve ambiguous corpora
+                if !seen.insert(id.clone()) {
+                    die(&format!("duplicate document id {id:?} (file stems must be unique)"));
+                }
+            }
+        }
+    }
+    for id in catalog.doc_ids() {
+        let doc = catalog.get(&id).expect("listed");
+        eprintln!(
+            "loaded {id}: n = {}{}",
+            doc.n(),
+            if doc.is_ingest() { " (ingest-enabled)" } else { "" }
+        );
     }
     if catalog.is_empty() {
         die("no .usix indexes found to serve");
@@ -271,6 +363,109 @@ fn cmd_serve(args: &Args) {
     let _ = std::io::copy(&mut std::io::stdin().lock(), &mut std::io::sink());
     eprintln!("stdin closed, shutting down");
     handle.shutdown();
+}
+
+/// Prints one query answer: the shared JSON encoding with `--json`,
+/// the `query` subcommand's tab format otherwise.
+fn print_ingest_answer(pattern: &str, q: &usi::prelude::UsiQuery, json: bool) {
+    if json {
+        println!("{}", query_result_json(pattern.as_bytes(), q).encode());
+    } else {
+        println!(
+            "{}\t{}\t{}\t{}",
+            pattern,
+            q.occurrences,
+            q.value.map_or("n/a".into(), |v| format!("{v}")),
+            match q.source {
+                QuerySource::HashTable => "cached",
+                QuerySource::TextIndex => "computed",
+            }
+        );
+    }
+}
+
+fn print_ingest_stats(stats: &usi::ingest::IngestStats) {
+    println!(
+        "n\t{}\nbase\t{}\nsegments\t{}\ntail\t{}\nwal_bytes\t{}\nseals\t{}\ncompactions\t{}",
+        stats.n,
+        stats.base_n,
+        stats.segments,
+        stats.tail_len,
+        stats.wal_bytes,
+        stats.seals,
+        stats.compactions,
+    );
+}
+
+fn cmd_ingest(args: &Args) {
+    let [base_path] = &args.positional[..] else {
+        die("ingest expects exactly one base .usix file");
+    };
+    let wal_path = args.flag("wal").unwrap_or_else(|| die("ingest requires --wal PATH"));
+    let base = load_index(base_path);
+    let config = ingest_config(args);
+    let (pipeline, replay) = IngestPipeline::open(base, Path::new(wal_path), config)
+        .unwrap_or_else(|e| die(&format!("cannot open {wal_path}: {e}")));
+    let replayed_letters: usize = replay.records.iter().map(|r| r.text.len()).sum();
+    let stats = pipeline.stats();
+    eprintln!(
+        "replayed {} record(s) ({} letters){}; n = {}, segments = {}, tail = {}",
+        replay.records.len(),
+        replayed_letters,
+        if replay.truncated { " — torn tail dropped" } else { "" },
+        stats.n,
+        stats.segments,
+        stats.tail_len,
+    );
+    let json = args.has("json");
+    let weight: f64 =
+        args.flag("weight").map_or(1.0, |w| w.parse().unwrap_or_else(|_| die("bad --weight")));
+
+    if args.has("replay") {
+        // crash-recovery mode: recover, answer, exit — no stdin
+        for pattern in args.flags_all("query") {
+            print_ingest_answer(pattern, &pipeline.query(pattern.as_bytes()), json);
+        }
+        return;
+    }
+
+    // interactive mode: one command per stdin line
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => die(&format!("stdin: {e}")),
+        }
+        let trimmed = line.trim_end_matches(['\n', '\r']);
+        let (command, rest) = trimmed.split_once(' ').unwrap_or((trimmed, ""));
+        match command {
+            "" => {}
+            "append" => match pipeline.append_uniform(rest.as_bytes(), weight) {
+                Ok(()) => eprintln!("appended {} letter(s)", rest.len()),
+                Err(e) => eprintln!("usi: append failed: {e}"),
+            },
+            "appendw" => {
+                let Some((w, text)) = rest.split_once(' ') else {
+                    eprintln!("usi: usage: appendw <weight> <text>");
+                    continue;
+                };
+                match w.parse::<f64>() {
+                    Ok(w) => match pipeline.append_uniform(text.as_bytes(), w) {
+                        Ok(()) => eprintln!("appended {} letter(s) at weight {w}", text.len()),
+                        Err(e) => eprintln!("usi: append failed: {e}"),
+                    },
+                    Err(_) => eprintln!("usi: bad weight {w:?}"),
+                }
+            }
+            "query" => print_ingest_answer(rest, &pipeline.query(rest.as_bytes()), json),
+            "stats" => print_ingest_stats(&pipeline.stats()),
+            "quit" | "exit" => break,
+            other => eprintln!("usi: unknown command {other:?} (append/appendw/query/stats/quit)"),
+        }
+    }
 }
 
 fn cmd_stats(args: &Args) {
@@ -338,7 +533,7 @@ fn cmd_tradeoff(args: &Args) {
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = raw.first().cloned() else {
-        die("usage: usi <build|query|stats|topk|tradeoff|serve> …");
+        die("usage: usi <build|query|stats|topk|tradeoff|serve|ingest> …");
     };
     let args = Args::parse(&raw[1..]);
     match command.as_str() {
@@ -348,6 +543,7 @@ fn main() {
         "topk" => cmd_topk(&args),
         "tradeoff" => cmd_tradeoff(&args),
         "serve" => cmd_serve(&args),
+        "ingest" => cmd_ingest(&args),
         other => die(&format!("unknown command {other}")),
     }
 }

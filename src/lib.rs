@@ -38,6 +38,7 @@
 //! | [`usi_streams`] | Misra–Gries, SpaceSaving, count-min, HeavyKeeper, SubstringHK, Top-K Trie |
 //! | [`usi_baselines`] | the BSL1–BSL4 query baselines |
 //! | [`usi_datasets`] | synthetic corpora, utility generators, `W1`/`W2,p` workloads |
+//! | [`usi_ingest`] | WAL-durable append-log ingestion: sealed segments, tiered compaction |
 //! | [`usi_server`] | sharded multi-index catalog, batch queries, HTTP serving layer |
 //!
 //! See `DESIGN.md` for the paper-to-module map and `EXPERIMENTS.md` for
@@ -46,6 +47,7 @@
 pub use usi_baselines as baselines;
 pub use usi_core as core;
 pub use usi_datasets as datasets;
+pub use usi_ingest as ingest;
 pub use usi_server as server;
 pub use usi_streams as streams;
 pub use usi_strings as strings;
@@ -57,6 +59,7 @@ pub mod prelude {
         approximate_top_k, exact_top_k, ApproxConfig, DynamicUsi, QuerySource, TopKOracle,
         TopKStrategy, UsiBuilder, UsiIndex, UsiQuery,
     };
+    pub use usi_ingest::{IngestConfig, IngestIndex, IngestOptions, IngestPipeline};
     pub use usi_server::{Catalog, ServerConfig};
     pub use usi_strings::{GlobalAggregator, GlobalUtility, WeightedString};
     pub use usi_suffix::LceBackend;
