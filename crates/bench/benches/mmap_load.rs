@@ -1,0 +1,78 @@
+//! Cold-load latency of a persisted index: the owned stream load
+//! (`read_from`, which copies every section onto the heap and
+//! revalidates it) against the zero-copy storage view (`open_mmap`,
+//! which validates in place and only materialises `PSW`). The gap is
+//! the whole point of the storage redesign: open time stops scaling
+//! with the bytes it no longer copies, so a catalog of N corpora
+//! cold-starts in O(N · validation) instead of O(total bytes copied).
+//!
+//! Also measures the first query after each load kind, so the page-in
+//! cost the mapping defers is visible rather than hidden.
+//!
+//! Tracked by the nightly gate via `ci/nightly-thresholds.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::io::Write;
+use usi_core::{UsiBuilder, UsiIndex};
+use usi_datasets::Dataset;
+
+/// Indexed letters: big enough that copying vs not copying dominates.
+const N: usize = 1 << 20; // 1 Mi
+
+fn persisted_index() -> (std::path::PathBuf, u64) {
+    let dir = std::env::temp_dir().join("usi-bench-mmap-load");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("mmap_load.usix");
+    let ws = Dataset::Hum.generate(N, 23);
+    let index = UsiBuilder::new().with_k(N / 200).deterministic(5).build(ws);
+    let mut out = std::io::BufWriter::new(std::fs::File::create(&path).unwrap());
+    index.write_to(&mut out).unwrap();
+    out.flush().unwrap();
+    let bytes = std::fs::metadata(&path).unwrap().len();
+    (path, bytes)
+}
+
+fn bench_mmap_load(c: &mut Criterion) {
+    let (path, bytes) = persisted_index();
+
+    let mut group = c.benchmark_group("mmap_load");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(bytes));
+
+    group.bench_function("read_from_cold", |b| {
+        b.iter(|| {
+            let file = std::fs::File::open(&path).unwrap();
+            let mut reader = std::io::BufReader::new(file);
+            let index = UsiIndex::read_from(&mut reader).unwrap();
+            index.cached_substrings()
+        })
+    });
+
+    group.bench_function("open_mmap_cold", |b| {
+        b.iter(|| {
+            let index = usi_core::persist::open_mmap(&path).unwrap();
+            index.cached_substrings()
+        })
+    });
+
+    group.bench_function("read_from_cold_plus_query", |b| {
+        b.iter(|| {
+            let file = std::fs::File::open(&path).unwrap();
+            let mut reader = std::io::BufReader::new(file);
+            let index = UsiIndex::read_from(&mut reader).unwrap();
+            index.query(b"ACGT").occurrences
+        })
+    });
+
+    group.bench_function("open_mmap_cold_plus_query", |b| {
+        b.iter(|| {
+            let index = usi_core::persist::open_mmap(&path).unwrap();
+            index.query(b"ACGT").occurrences
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_mmap_load);
+criterion_main!(benches);

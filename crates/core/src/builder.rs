@@ -267,7 +267,7 @@ mod tests {
     fn check_against_brute_force(index: &UsiIndex, patterns: &[Vec<u8>]) {
         let u = index.utility();
         for pat in patterns {
-            let want = u.brute_force(index.weighted_string(), pat);
+            let want = u.brute_force(index.weighted_string().expect("built index is owned"), pat);
             let got = index.query(pat);
             assert_eq!(got.occurrences, want.count(), "pattern {pat:?}");
             match (got.value, want.finish(u.aggregator)) {

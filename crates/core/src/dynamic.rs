@@ -19,8 +19,9 @@
 //! between rebuilds.
 
 use crate::builder::UsiBuilder;
-use crate::index::{QuerySource, UsiIndex, UsiQuery};
-use usi_strings::{UtilityAccumulator, WeightedString};
+use crate::engine::QueryEngine;
+use crate::index::{IndexSize, QuerySource, UsiIndex, UsiQuery};
+use usi_strings::{GlobalUtility, UtilityAccumulator, WeightedString};
 
 /// Append-only USI index with epoch rebuilds.
 ///
@@ -65,7 +66,7 @@ impl DynamicUsi {
 
     /// Total indexed length (prefix + tail).
     pub fn len(&self) -> usize {
-        self.index.weighted_string().len() + self.tail_text.len()
+        self.index.text().len() + self.tail_text.len()
     }
 
     /// Whether nothing has been indexed.
@@ -124,7 +125,8 @@ impl DynamicUsi {
         if self.tail_text.is_empty() {
             return;
         }
-        let (mut text, mut weights) = self.index.weighted_string().clone().into_parts();
+        let mut text = self.index.text().to_vec();
+        let mut weights = self.index.weights().to_vec();
         text.append(&mut self.tail_text);
         weights.append(&mut self.tail_weights);
         let ws = WeightedString::new(text, weights)
@@ -135,14 +137,22 @@ impl DynamicUsi {
 
     /// Answers `U(P)` over the full (prefix + tail) string.
     pub fn query(&self, pattern: &[u8]) -> UsiQuery {
+        let (acc, source) = self.query_accumulator(pattern);
+        UsiQuery {
+            value: acc.finish(self.index.utility().aggregator),
+            occurrences: acc.count(),
+            source,
+        }
+    }
+
+    /// Like [`DynamicUsi::query`] but returns the raw accumulator, so
+    /// multi-document callers can merge further occurrences before
+    /// extracting an aggregate (the [`QueryEngine`] contract).
+    pub fn query_accumulator(&self, pattern: &[u8]) -> (UtilityAccumulator, QuerySource) {
         let m = pattern.len();
         let total = self.len();
         if m == 0 || m > total {
-            return UsiQuery {
-                value: UtilityAccumulator::new().finish(self.index.utility().aggregator),
-                occurrences: 0,
-                source: QuerySource::TextIndex,
-            };
+            return (UtilityAccumulator::new(), QuerySource::TextIndex);
         }
         // (a) occurrences fully inside the frozen prefix.
         let (mut acc, source) = self.index.query_accumulator(pattern);
@@ -151,21 +161,22 @@ impl DynamicUsi {
         // in [prefix_len − m + 1, total − m]. Scan with a rolling weight
         // sum; each candidate is verified by direct comparison (O(m)),
         // which is fine since the region has ≤ m + tail positions.
-        let prefix_len = self.index.weighted_string().len();
+        let prefix_len = self.index.text().len();
         if !self.tail_text.is_empty() {
             let first = (prefix_len + 1).saturating_sub(m);
             let last = total - m; // inclusive
-            let prefix_ws = self.index.weighted_string();
+            let prefix_text = self.index.text();
+            let prefix_weights = self.index.weights();
             let letter = |i: usize| -> u8 {
                 if i < prefix_len {
-                    prefix_ws.text()[i]
+                    prefix_text[i]
                 } else {
                     self.tail_text[i - prefix_len]
                 }
             };
             let weight = |i: usize| -> f64 {
                 if i < prefix_len {
-                    prefix_ws.weight(i)
+                    prefix_weights.at(i)
                 } else {
                     self.tail_weights[i - prefix_len]
                 }
@@ -188,11 +199,38 @@ impl DynamicUsi {
                 }
             }
         }
-        UsiQuery {
-            value: acc.finish(self.index.utility().aggregator),
-            occurrences: acc.count(),
-            source,
-        }
+        (acc, source)
+    }
+}
+
+impl QueryEngine for DynamicUsi {
+    fn query(&self, pattern: &[u8]) -> UsiQuery {
+        DynamicUsi::query(self, pattern)
+    }
+
+    fn query_accumulator(&self, pattern: &[u8]) -> (UtilityAccumulator, QuerySource) {
+        DynamicUsi::query_accumulator(self, pattern)
+    }
+
+    fn utility(&self) -> GlobalUtility {
+        self.index.utility()
+    }
+
+    fn indexed_len(&self) -> usize {
+        self.len()
+    }
+
+    fn cached_substrings(&self) -> usize {
+        self.index.cached_substrings()
+    }
+
+    /// The frozen prefix's breakdown, with the tail buffers counted
+    /// under `text` / `weights`.
+    fn size_breakdown(&self) -> IndexSize {
+        let mut size = self.index.size_breakdown();
+        size.text += self.tail_text.capacity();
+        size.weights += self.tail_weights.capacity() * std::mem::size_of::<f64>();
+        size
     }
 }
 
@@ -224,7 +262,7 @@ mod tests {
         // shadow weighted string for brute force
         let rebuild_shadow = |idx: &DynamicUsi| {
             let text = idx.text();
-            let mut weights = idx.index.weighted_string().weights().to_vec();
+            let mut weights = idx.index.weights().to_vec();
             weights.extend_from_slice(&idx.tail_weights);
             WeightedString::new(text, weights).unwrap()
         };

@@ -26,13 +26,14 @@
 //! probes `H`, and on a miss falls back to the suffix array plus `PSW`
 //! (`O(m log n + occ)`, with `occ ≤ τ_K` for exact-built indexes).
 
+use crate::storage::{IndexView, SaRef, WeightsRef, H_ENTRY_BYTES};
 use crate::topk::{TopKEstimate, TopKSubstring};
 use std::time::Duration;
 use usi_strings::{
     Fingerprinter, FxHashMap, FxHashSet, GlobalUtility, HeapSize, LocalIndex, UtilityAccumulator,
     WeightedString,
 };
-use usi_suffix::SuffixArraySearcher;
+use usi_suffix::{SaAccess, SuffixArraySearcher};
 
 /// How a query was answered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -113,15 +114,27 @@ impl IndexSize {
 /// too makes cross-length fingerprint collisions impossible.
 type HKey = (u32, u64);
 
-/// The `USI_TOP-K` index. Build through [`crate::builder::UsiBuilder`].
+/// What actually holds the payload sections (text, weights, suffix
+/// array, cached-substring table): owned heap structures for built or
+/// stream-loaded indexes, or typed slices over an
+/// [`crate::storage::IndexStorage`] for zero-copy loads
+/// ([`crate::persist::open_mmap`]). Both backings answer every query
+/// byte-identically (proptested in `tests/storage_equivalence.rs`).
+#[derive(Debug, Clone)]
+enum Payload {
+    Owned { ws: WeightedString, sa: Vec<u32>, h: FxHashMap<HKey, UtilityAccumulator> },
+    View(IndexView),
+}
+
+/// The `USI_TOP-K` index. Build through [`crate::builder::UsiBuilder`],
+/// load owned with [`UsiIndex::read_from`], or load zero-copy with
+/// [`crate::persist::open_mmap`].
 #[derive(Debug, Clone)]
 pub struct UsiIndex {
-    ws: WeightedString,
-    sa: Vec<u32>,
+    payload: Payload,
     psw: LocalIndex,
     fingerprinter: Fingerprinter,
     utility: GlobalUtility,
-    h: FxHashMap<HKey, UtilityAccumulator>,
     /// The `L_K` distinct lengths present in `H`, sorted. A query whose
     /// length is absent cannot be cached, so the `O(m)` fingerprint
     /// computation is skipped entirely — important for long infrequent
@@ -144,22 +157,71 @@ impl UsiIndex {
         let mut cached_lengths: Vec<u32> = h.keys().map(|&(len, _)| len).collect();
         cached_lengths.sort_unstable();
         cached_lengths.dedup();
-        Self { ws, sa, psw, fingerprinter, utility, h, cached_lengths, stats }
+        Self {
+            payload: Payload::Owned { ws, sa, h },
+            psw,
+            fingerprinter,
+            utility,
+            cached_lengths,
+            stats,
+        }
     }
 
-    /// The indexed weighted string.
-    pub fn weighted_string(&self) -> &WeightedString {
-        &self.ws
+    /// Assembles a storage-backed index from a validated view; used by
+    /// the persistence layer's zero-copy open path.
+    pub(crate) fn from_view(
+        view: IndexView,
+        psw: LocalIndex,
+        fingerprinter: Fingerprinter,
+        utility: GlobalUtility,
+        cached_lengths: Vec<u32>,
+        stats: BuildStats,
+    ) -> Self {
+        Self { payload: Payload::View(view), psw, fingerprinter, utility, cached_lengths, stats }
+    }
+
+    /// The indexed weighted string; `None` for storage-backed indexes,
+    /// whose text and weights have no owned `WeightedString` to borrow
+    /// (use [`UsiIndex::text`] and [`UsiIndex::weights`] instead — they
+    /// work for both backings).
+    pub fn weighted_string(&self) -> Option<&WeightedString> {
+        match &self.payload {
+            Payload::Owned { ws, .. } => Some(ws),
+            Payload::View(_) => None,
+        }
     }
 
     /// The text `S`.
     pub fn text(&self) -> &[u8] {
-        self.ws.text()
+        match &self.payload {
+            Payload::Owned { ws, .. } => ws.text(),
+            Payload::View(view) => view.text(),
+        }
     }
 
-    /// The suffix array of `S`.
-    pub fn suffix_array(&self) -> &[u32] {
-        &self.sa
+    /// The weight array `w`, whatever its backing.
+    pub fn weights(&self) -> WeightsRef<'_> {
+        match &self.payload {
+            Payload::Owned { ws, .. } => WeightsRef::Slice(ws.weights()),
+            Payload::View(view) => view.weights(),
+        }
+    }
+
+    /// The suffix array of `S`, whatever its backing.
+    pub fn suffix_array(&self) -> SaRef<'_> {
+        match &self.payload {
+            Payload::Owned { sa, .. } => SaRef::Ranks(sa),
+            Payload::View(view) => view.sa(),
+        }
+    }
+
+    /// Whether the payload sections are served from a file mapping
+    /// (zero-copy) rather than the heap.
+    pub fn is_memory_mapped(&self) -> bool {
+        match &self.payload {
+            Payload::Owned { .. } => false,
+            Payload::View(view) => view.is_mapped(),
+        }
     }
 
     /// The configured global utility function.
@@ -175,7 +237,10 @@ impl UsiIndex {
     /// Number of entries in the hash table `H` (distinct cached
     /// substrings).
     pub fn cached_substrings(&self) -> usize {
-        self.h.len()
+        match &self.payload {
+            Payload::Owned { h, .. } => h.len(),
+            Payload::View(view) => view.h_len(),
+        }
     }
 
     /// Construction statistics.
@@ -183,21 +248,51 @@ impl UsiIndex {
         &self.stats
     }
 
-    /// Read access to the hash table `H` (persistence, diagnostics).
-    pub(crate) fn hash_table(&self) -> &FxHashMap<HKey, UtilityAccumulator> {
-        &self.h
+    /// Probes the cached-substring table for `(length, fingerprint)`.
+    fn h_lookup(&self, key: HKey) -> Option<UtilityAccumulator> {
+        match &self.payload {
+            Payload::Owned { h, .. } => h.get(&key).copied(),
+            Payload::View(view) => view.h_lookup(key),
+        }
     }
 
-    /// Index-size breakdown.
+    /// The cached-substring entries in canonical `(length, fingerprint)`
+    /// order (persistence, diagnostics).
+    pub(crate) fn h_entries_sorted(&self) -> Vec<(HKey, UtilityAccumulator)> {
+        match &self.payload {
+            Payload::Owned { h, .. } => {
+                let mut entries: Vec<(HKey, UtilityAccumulator)> =
+                    h.iter().map(|(&key, &acc)| (key, acc)).collect();
+                entries.sort_unstable_by_key(|&(key, _)| key);
+                entries
+            }
+            Payload::View(view) => view.h_entries().collect(),
+        }
+    }
+
+    /// Index-size breakdown. For storage-backed indexes the text,
+    /// weights, suffix-array and hash-table numbers are the mapped
+    /// section sizes (paged in lazily by the kernel); only `psw` is
+    /// resident heap.
     pub fn size_breakdown(&self) -> IndexSize {
-        IndexSize {
-            text: self.ws.text().len(),
-            weights: std::mem::size_of_val(self.ws.weights()),
-            suffix_array: self.sa.heap_bytes(),
-            psw: self.psw.heap_bytes(),
-            hash_table: self.h.capacity()
-                * (std::mem::size_of::<HKey>() + std::mem::size_of::<UtilityAccumulator>() + 1)
-                + self.cached_lengths.capacity() * std::mem::size_of::<u32>(),
+        match &self.payload {
+            Payload::Owned { ws, sa, h } => IndexSize {
+                text: ws.text().len(),
+                weights: std::mem::size_of_val(ws.weights()),
+                suffix_array: sa.heap_bytes(),
+                psw: self.psw.heap_bytes(),
+                hash_table: h.capacity()
+                    * (std::mem::size_of::<HKey>() + std::mem::size_of::<UtilityAccumulator>() + 1)
+                    + self.cached_lengths.capacity() * std::mem::size_of::<u32>(),
+            },
+            Payload::View(view) => IndexSize {
+                text: view.text().len(),
+                weights: 8 * view.text().len(),
+                suffix_array: 4 * view.text().len(),
+                psw: self.psw.heap_bytes(),
+                hash_table: H_ENTRY_BYTES * view.h_len()
+                    + self.cached_lengths.capacity() * std::mem::size_of::<u32>(),
+            },
         }
     }
 
@@ -214,33 +309,43 @@ impl UsiIndex {
     /// callers (e.g. the dynamic index) can merge further occurrences
     /// before extracting an aggregate.
     pub fn query_accumulator(&self, pattern: &[u8]) -> (UtilityAccumulator, QuerySource) {
-        let searcher = SuffixArraySearcher::new(self.ws.text(), &self.sa);
-        self.query_accumulator_with(&searcher, pattern)
+        match &self.payload {
+            Payload::Owned { ws, sa, .. } => {
+                self.query_accumulator_with(&SuffixArraySearcher::new(ws.text(), sa), pattern)
+            }
+            Payload::View(view) => self.query_accumulator_with(
+                &SuffixArraySearcher::with_access(view.text(), view.sa()),
+                pattern,
+            ),
+        }
     }
 
     /// Query body with the suffix-array searcher hoisted out, so batch
     /// callers set it up once per batch instead of once per pattern.
-    fn query_accumulator_with(
+    /// Generic over the searcher's backing: heap-built indexes pass a
+    /// `&[u32]` searcher (monomorphised to the pre-redesign code),
+    /// storage views pass a byte-section one.
+    fn query_accumulator_with<A: SaAccess>(
         &self,
-        searcher: &SuffixArraySearcher<'_>,
+        searcher: &SuffixArraySearcher<'_, A>,
         pattern: &[u8],
     ) -> (UtilityAccumulator, QuerySource) {
         let m = pattern.len();
-        if m == 0 || m > self.ws.len() {
+        if m == 0 || m > searcher.text().len() {
             return (UtilityAccumulator::new(), QuerySource::TextIndex);
         }
         // Only compute the O(m) fingerprint when some cached substring
         // has this length; otherwise the probe cannot hit.
         if self.cached_lengths.binary_search(&(m as u32)).is_ok() {
             let fp = self.fingerprinter.fingerprint(pattern);
-            if let Some(acc) = self.h.get(&(m as u32, fp)) {
-                return (*acc, QuerySource::HashTable);
+            if let Some(acc) = self.h_lookup((m as u32, fp)) {
+                return (acc, QuerySource::HashTable);
             }
         }
         let mut acc = UtilityAccumulator::new();
         if let Some(range) = searcher.interval(pattern) {
-            for &p in &self.sa[range] {
-                acc.add(self.psw.local(p as usize, m));
+            for r in range {
+                acc.add(self.psw.local(searcher.access().at(r) as usize, m));
             }
         }
         (acc, QuerySource::TextIndex)
@@ -273,7 +378,23 @@ impl UsiIndex {
         &self,
         patterns: &[&[u8]],
     ) -> Vec<(UtilityAccumulator, QuerySource)> {
-        let searcher = SuffixArraySearcher::new(self.ws.text(), &self.sa);
+        match &self.payload {
+            Payload::Owned { ws, sa, .. } => {
+                self.accumulate_batch(&SuffixArraySearcher::new(ws.text(), sa), patterns)
+            }
+            Payload::View(view) => self.accumulate_batch(
+                &SuffixArraySearcher::with_access(view.text(), view.sa()),
+                patterns,
+            ),
+        }
+    }
+
+    /// Batch body shared by both payload backings.
+    fn accumulate_batch<A: SaAccess>(
+        &self,
+        searcher: &SuffixArraySearcher<'_, A>,
+        patterns: &[&[u8]],
+    ) -> Vec<(UtilityAccumulator, QuerySource)> {
         let mut first_seen: FxHashMap<&[u8], usize> = FxHashMap::default();
         let mut out: Vec<(UtilityAccumulator, QuerySource)> = Vec::with_capacity(patterns.len());
         for (i, &pattern) in patterns.iter().enumerate() {
@@ -284,7 +405,7 @@ impl UsiIndex {
                 }
                 std::collections::hash_map::Entry::Vacant(entry) => {
                     entry.insert(i);
-                    out.push(self.query_accumulator_with(&searcher, pattern));
+                    out.push(self.query_accumulator_with(searcher, pattern));
                 }
             }
         }

@@ -24,23 +24,33 @@
 //! * [`dynamic`] — an append-only dynamic variant (Section X);
 //! * [`merge`] — the shared semantics for combining per-part answers
 //!   (the server's cross-document fan-out, the ingestion layer's
-//!   per-segment results).
+//!   per-segment results);
+//! * [`storage`] / [`persist`] — the byte-stable `.usix` format and the
+//!   zero-copy (memory-mapped) storage views behind
+//!   [`persist::open_mmap`];
+//! * [`engine`] — the [`QueryEngine`] trait every backend (frozen,
+//!   dynamic, segmented-ingest) implements, so consumers dispatch
+//!   without knowing the concrete type.
 
 pub mod approx;
 pub mod builder;
 pub mod dynamic;
+pub mod engine;
 pub mod index;
 pub mod merge;
 pub mod metrics;
 pub mod oracle;
 pub mod persist;
+pub mod storage;
 pub mod topk;
 
 pub use approx::{approximate_top_k, ApproxConfig, ApproxResult};
 pub use builder::{BuildOptions, TopKStrategy, UsiBuilder};
 pub use dynamic::DynamicUsi;
+pub use engine::QueryEngine;
 pub use index::{BuildStats, QuerySource, UsiIndex, UsiQuery};
 pub use merge::{merge_accumulators, merged_total};
 pub use oracle::{exact_top_k, TopKOracle, TradeoffPoint, TuneForK, TuneForTau};
-pub use persist::PersistError;
+pub use persist::{open_mmap, PersistError};
+pub use storage::{IndexStorage, SaRef, WeightsRef};
 pub use topk::{SubstringRef, TopKEstimate, TopKSubstring};

@@ -26,10 +26,23 @@
 //! file fails loudly instead of producing wrong answers.
 
 use crate::index::{BuildStats, UsiIndex};
+use crate::storage::{IndexStorage, IndexView, H_ENTRY_BYTES};
 use std::io::{self, Read, Write};
-use usi_strings::{Fingerprinter, FxHashMap, GlobalUtility, UtilityAccumulator, WeightedString};
+use std::path::Path;
+use std::sync::Arc;
+use usi_strings::{
+    Fingerprinter, FxHashMap, GlobalUtility, LocalIndex, UtilityAccumulator, WeightedString,
+};
 
 const MAGIC: [u8; 8] = *b"USIX\x01\x00\x00\x00";
+
+/// Bytes before the text section: magic + aggregator tag + local tag +
+/// fingerprinter base + `n`.
+pub const HEADER_BYTES: usize = 8 + 1 + 1 + 8 + 8;
+
+/// Bytes after the hash-table section: `k_requested + k_stored + tau +
+/// L_K`.
+pub const TRAILER_BYTES: usize = 8 + 8 + 4 + 8;
 
 /// Errors raised when loading a persisted index.
 #[derive(Debug)]
@@ -110,24 +123,22 @@ impl UsiIndex {
         w.u8(self.utility().aggregator.to_tag())?;
         w.u8(self.utility().local.to_tag())?;
         w.u64(self.fingerprinter().base())?;
-        let ws = self.weighted_string();
-        w.u64(ws.len() as u64)?;
-        w.0.write_all(ws.text())?;
-        for &x in ws.weights() {
+        w.u64(self.text().len() as u64)?;
+        w.0.write_all(self.text())?;
+        for x in self.weights().iter() {
             w.f64(x)?;
         }
-        for &p in self.suffix_array() {
+        for p in self.suffix_array().iter() {
             w.u32(p)?;
         }
-        let h = self.hash_table();
-        w.u64(h.len() as u64)?;
         // Canonical entry order: hash-map iteration order depends on
         // insertion history (serial vs sharded-parallel populate), so
-        // sort by key to make equal indexes serialise to equal bytes —
-        // the CI determinism gate `cmp`s serial and parallel builds.
-        let mut entries: Vec<(&(u32, u64), &UtilityAccumulator)> = h.iter().collect();
-        entries.sort_unstable_by_key(|(key, _)| **key);
-        for (&(len, fp), acc) in entries {
+        // entries are sorted by key to make equal indexes serialise to
+        // equal bytes — the CI determinism gate `cmp`s serial and
+        // parallel builds. (A storage view is already in this order.)
+        let entries = self.h_entries_sorted();
+        w.u64(entries.len() as u64)?;
+        for ((len, fp), acc) in entries {
             let (sum, min, max, count) = acc.to_raw();
             w.u32(len)?;
             w.u64(fp)?;
@@ -223,6 +234,156 @@ impl UsiIndex {
             BuildStats { n, k_requested, k_stored, tau, distinct_lengths, ..BuildStats::default() };
         Ok(UsiIndex::from_parts(ws, sa, psw, fingerprinter, utility, h, stats))
     }
+
+    /// Opens a `.usix` file as a zero-copy storage view: the payload
+    /// sections (text, weights, suffix array, cached-substring table)
+    /// are served straight from the backing bytes — a memory mapping
+    /// where the platform wrapper exists ([`crate::storage::Mmap`]),
+    /// owned file bytes elsewhere. See [`open_mmap`].
+    pub fn open_mmap(path: &Path) -> Result<Self, PersistError> {
+        let storage = IndexStorage::open(path)?;
+        Self::from_storage(Arc::new(storage))
+    }
+
+    /// Validates `storage` as a complete `USIX` v1 image and wraps it
+    /// in a view-backed index **without copying any section**: the same
+    /// structural checks [`UsiIndex::read_from`] performs (magic, tags,
+    /// fingerprint-base range, weight finiteness, the suffix-array
+    /// permutation property, per-entry length bounds) plus two that the
+    /// view depends on — the byte length must match the layout exactly,
+    /// and the hash-table entries must be in strictly increasing
+    /// `(length, fingerprint)` order (the canonical encoding guarantees
+    /// it; the probe's binary search requires it).
+    ///
+    /// The only load-time allocation proportional to the corpus is the
+    /// `PSW` prefix-sum array, which the format does not store.
+    pub fn from_storage(storage: Arc<IndexStorage>) -> Result<Self, PersistError> {
+        let bytes = storage.bytes();
+        if bytes.len() < 8 || bytes[..8] != MAGIC {
+            return Err(PersistError::BadMagic);
+        }
+        if bytes.len() < HEADER_BYTES {
+            return Err(PersistError::Corrupt("truncated header"));
+        }
+        let u32_at = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
+        let u64_at = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"));
+        let aggregator = usi_strings::GlobalAggregator::from_tag(bytes[8])
+            .ok_or(PersistError::Corrupt("aggregator tag"))?;
+        let local = usi_strings::LocalWindow::from_tag(bytes[9])
+            .ok_or(PersistError::Corrupt("local window tag"))?;
+        let base = u64_at(10);
+        if !(256..usi_strings::fingerprint::MODULUS - 1).contains(&base) {
+            return Err(PersistError::Corrupt("fingerprint base"));
+        }
+        let fingerprinter = Fingerprinter::from_raw_base(base);
+        let n64 = u64_at(18);
+        if n64 > (u32::MAX as u64) - 2 {
+            return Err(PersistError::Corrupt("text length"));
+        }
+        let n = n64 as usize;
+
+        // Section offsets; everything up to the trailer must fit.
+        let text_off = HEADER_BYTES;
+        let weights_off = text_off + n;
+        let sa_off = weights_off + 8 * n;
+        let h_count_off = sa_off + 4 * n;
+        let h_off = h_count_off + 8;
+        if bytes.len() < h_off {
+            return Err(PersistError::Corrupt("truncated sections"));
+        }
+        let h_len64 = u64_at(h_count_off);
+        if h_len64 > (n as u64).saturating_mul(n as u64).max(1024) {
+            return Err(PersistError::Corrupt("hash table size"));
+        }
+        let h_len = h_len64 as usize;
+        let expected = (h_off as u64)
+            .checked_add((H_ENTRY_BYTES as u64).saturating_mul(h_len64))
+            .and_then(|v| v.checked_add(TRAILER_BYTES as u64))
+            .ok_or(PersistError::Corrupt("hash table size"))?;
+        if bytes.len() as u64 != expected {
+            return Err(PersistError::Corrupt("file size"));
+        }
+        let trailer_off = h_off + H_ENTRY_BYTES * h_len;
+
+        let view =
+            IndexView::new(Arc::clone(&storage), n, text_off, weights_off, sa_off, h_off, h_len);
+
+        // Weights: finite, and strictly positive under a Product local
+        // window (whose PSW takes logarithms).
+        for w in view.weights().iter() {
+            if !w.is_finite() {
+                return Err(PersistError::Corrupt("non-finite weight"));
+            }
+            if local == usi_strings::LocalWindow::Product && w <= 0.0 {
+                return Err(PersistError::Corrupt("non-positive weight for product local"));
+            }
+        }
+
+        // Suffix array: a permutation of 0..n.
+        let sa = view.sa();
+        let mut seen = vec![false; n];
+        for i in 0..n {
+            let p = sa.at(i) as usize;
+            if p >= n || seen[p] {
+                return Err(PersistError::Corrupt("suffix array permutation"));
+            }
+            seen[p] = true;
+        }
+
+        // Hash-table entries: valid lengths, strictly increasing keys
+        // (the probe's binary search and the canonical encoding both
+        // require it), and the distinct lengths collected along the way.
+        let mut cached_lengths: Vec<u32> = Vec::new();
+        let mut previous: Option<(u32, u64)> = None;
+        for i in 0..h_len {
+            let key = view.h_key(i);
+            if key.0 == 0 || key.0 as usize > n {
+                return Err(PersistError::Corrupt("cached substring length"));
+            }
+            if previous.is_some_and(|p| p >= key) {
+                return Err(PersistError::Corrupt("hash table order"));
+            }
+            if cached_lengths.last() != Some(&key.0) {
+                cached_lengths.push(key.0);
+            }
+            previous = Some(key);
+        }
+
+        let stats = BuildStats {
+            n,
+            k_requested: u64_at(trailer_off) as usize,
+            k_stored: u64_at(trailer_off + 8) as usize,
+            tau: match u32_at(trailer_off + 16) {
+                u32::MAX => None,
+                t => Some(t),
+            },
+            distinct_lengths: u64_at(trailer_off + 20) as usize,
+            ..BuildStats::default()
+        };
+        let utility = GlobalUtility::with_parts(aggregator, local);
+        // PSW is the one derived structure the format does not store:
+        // rebuilt from the weight section in a single decoding pass,
+        // bit-identical to the owned load's (same accumulation order).
+        let psw = LocalIndex::from_weights(view.weights().iter(), local);
+        Ok(UsiIndex::from_view(view, psw, fingerprinter, utility, cached_lengths, stats))
+    }
+}
+
+/// Opens `path` as a zero-copy, storage-backed [`UsiIndex`]: the
+/// header and every structural invariant are validated up front, but
+/// no payload section is copied onto the heap — text, weights, suffix
+/// array and the cached-substring table are typed slices over the
+/// file mapping, paged in on first touch. Queries answer
+/// byte-identically to [`UsiIndex::read_from`] (proptested).
+///
+/// Prefer this over `read_from` when serving many corpora from one
+/// process: cold-start and resident memory then scale with the number
+/// of indexes, not their total size. Prefer `read_from` when the file
+/// may be replaced underneath a long-lived process, or when every
+/// section will be hot anyway and the double page-cache/heap residency
+/// is unwanted.
+pub fn open_mmap(path: &Path) -> Result<UsiIndex, PersistError> {
+    UsiIndex::open_mmap(path)
 }
 
 #[cfg(test)]

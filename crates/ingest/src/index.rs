@@ -30,14 +30,17 @@
 //! value as a from-scratch [`UsiBuilder`] build over the fully
 //! concatenated weighted string.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 use usi_core::index::IndexSize;
-use usi_core::{merge_accumulators, QuerySource, UsiBuilder, UsiIndex, UsiQuery};
+use usi_core::{
+    merge_accumulators, QueryEngine, QuerySource, UsiBuilder, UsiIndex, UsiQuery, WeightsRef,
+};
 use usi_strings::{GlobalUtility, LocalWindow, UtilityAccumulator, WeightedString};
 
-/// Tuning knobs for the segmented index (I/O-free part).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Tuning knobs for the segmented index.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IngestOptions {
     /// Seal the tail into a segment once it holds this many letters.
     pub seal_threshold: usize,
@@ -50,11 +53,32 @@ pub struct IngestOptions {
     /// Deterministic fingerprint seed for segment builds, so a WAL
     /// replay rebuilds byte-identical segments.
     pub seed: u64,
+    /// Segment-aware mmap: when set, every sealed or compacted segment
+    /// is also written to `<dir>/seg-<offset>-<len>.usix` and served
+    /// through a zero-copy storage view
+    /// ([`usi_core::persist::open_mmap`]) instead of the heap — the
+    /// kernel pages cold segments out under memory pressure. The
+    /// directory must exist (the pipeline creates it). Names embed the
+    /// segment's absolute letter offset and length, so a WAL replay —
+    /// which re-runs the same deterministic seal schedule — rewrites
+    /// identical files. **Use one directory per index**: the names
+    /// carry no document id, so two indexes sharing a directory would
+    /// clobber each other's files (`usi serve` namespaces a
+    /// per-document subdirectory automatically). If writing or
+    /// remapping fails, the in-memory segment is kept: the option
+    /// trades memory, never correctness.
+    pub segment_dir: Option<PathBuf>,
 }
 
 impl Default for IngestOptions {
     fn default() -> Self {
-        Self { seal_threshold: 4096, compact_fanout: 8, threads: 1, seed: 0x5ea1 }
+        Self {
+            seal_threshold: 4096,
+            compact_fanout: 8,
+            threads: 1,
+            seed: 0x5ea1,
+            segment_dir: None,
+        }
     }
 }
 
@@ -118,7 +142,7 @@ impl CompactionPlan {
         let mut weights = Vec::with_capacity(total);
         for input in &self.inputs {
             text.extend_from_slice(input.text());
-            weights.extend_from_slice(input.weighted_string().weights());
+            input.weights().extend_range_into(0..input.text().len(), &mut weights);
         }
         builder.build(
             WeightedString::new(text, weights).expect("segment concatenation keeps the invariant"),
@@ -169,7 +193,7 @@ impl IngestIndex {
 
     /// The effective options.
     pub fn options(&self) -> IngestOptions {
-        self.opts
+        self.opts.clone()
     }
 
     /// Total indexed length: base + segments + tail.
@@ -224,9 +248,9 @@ impl IngestIndex {
     /// The current full weight array, materialised.
     pub fn weights(&self) -> Vec<f64> {
         let mut out = Vec::with_capacity(self.len());
-        out.extend_from_slice(self.base.weighted_string().weights());
+        self.base.weights().extend_range_into(0..self.base.text().len(), &mut out);
         for seg in &self.segments {
-            out.extend_from_slice(seg.index.weighted_string().weights());
+            seg.index.weights().extend_range_into(0..seg.len(), &mut out);
         }
         out.extend_from_slice(&self.tail_weights);
         out
@@ -287,19 +311,50 @@ impl IngestIndex {
     }
 
     /// Seals the current tail into a fresh generation-0 segment. A
-    /// no-op for an empty tail.
+    /// no-op for an empty tail. With [`IngestOptions::segment_dir`] the
+    /// segment is persisted and remapped zero-copy (see there).
     pub fn seal(&mut self) {
         if self.tail_text.is_empty() {
             return;
         }
+        let offset = self.len() - self.tail_text.len();
         let ws = WeightedString::new(
             std::mem::take(&mut self.tail_text),
             std::mem::take(&mut self.tail_weights),
         )
         .expect("tail arrays grow in lockstep");
-        let index = self.segment_builder().build(ws);
+        let index = self.remap_segment(self.segment_builder().build(ws), offset);
         self.segments.push(Segment { index: Arc::new(index), generation: 0 });
         self.seals += 1;
+    }
+
+    /// The deterministic on-disk name of a segment covering
+    /// `[offset, offset + len)` of the full string.
+    fn segment_path(dir: &std::path::Path, offset: usize, len: usize) -> PathBuf {
+        dir.join(format!("seg-{offset}-{len}.usix"))
+    }
+
+    /// Absolute letter offset of `segments[i]`.
+    fn segment_offset(&self, i: usize) -> usize {
+        self.base.text().len() + self.segments[..i].iter().map(Segment::len).sum::<usize>()
+    }
+
+    /// With a configured segment directory, writes `index` to its
+    /// deterministic path and reopens it as a zero-copy storage view;
+    /// without one — or if any I/O step fails — returns the heap-backed
+    /// index unchanged (the option trades memory, never correctness).
+    fn remap_segment(&self, index: UsiIndex, offset: usize) -> UsiIndex {
+        let Some(dir) = &self.opts.segment_dir else {
+            return index;
+        };
+        let path = Self::segment_path(dir, offset, index.text().len());
+        let write = || -> Result<UsiIndex, Box<dyn std::error::Error>> {
+            let mut out = std::io::BufWriter::new(std::fs::File::create(&path)?);
+            index.write_to(&mut out)?;
+            std::io::Write::flush(&mut out)?;
+            Ok(usi_core::persist::open_mmap(&path)?)
+        };
+        write().unwrap_or(index)
     }
 
     /// The next due tier merge, if any: the lowest generation holding
@@ -344,6 +399,20 @@ impl IngestIndex {
         });
         if !matches {
             return false;
+        }
+        let offset = self.segment_offset(plan.start);
+        let merged = self.remap_segment(merged, offset);
+        if let Some(dir) = self.opts.segment_dir.clone() {
+            // best-effort removal of the replaced segments' files (the
+            // merged one covers the same letters; unlinking a file that
+            // is still mapped is safe on unix — the pages outlive the
+            // name). A leftover file only wastes disk: replay never
+            // reads it, segments are reopened by exact path.
+            let mut at = offset;
+            for input in &plan.inputs {
+                let _ = std::fs::remove_file(Self::segment_path(&dir, at, input.text().len()));
+                at += input.text().len();
+            }
         }
         self.segments.splice(
             plan.start..plan.start + plan.inputs.len(),
@@ -424,22 +493,22 @@ impl IngestIndex {
         weights.clear();
         let mut offset = 0usize;
         let (start, end) = (at, at + len);
-        let mut copy_from = |comp_text: &[u8], comp_weights: &[f64], offset: usize| {
+        let mut copy_from = |comp_text: &[u8], comp_weights: WeightsRef<'_>, offset: usize| {
             let comp_end = offset + comp_text.len();
             if start < comp_end && end > offset {
                 let lo = start.max(offset) - offset;
                 let hi = end.min(comp_end) - offset;
                 text.extend_from_slice(&comp_text[lo..hi]);
-                weights.extend_from_slice(&comp_weights[lo..hi]);
+                comp_weights.extend_range_into(lo..hi, weights);
             }
         };
-        copy_from(self.base.text(), self.base.weighted_string().weights(), 0);
+        copy_from(self.base.text(), self.base.weights(), 0);
         offset += self.base.text().len();
         for seg in &self.segments {
-            copy_from(seg.index.text(), seg.index.weighted_string().weights(), offset);
+            copy_from(seg.index.text(), seg.index.weights(), offset);
             offset += seg.len();
         }
-        copy_from(&self.tail_text, &self.tail_weights, offset);
+        copy_from(&self.tail_text, WeightsRef::Slice(&self.tail_weights), offset);
     }
 
     /// Folds in every occurrence that crosses a component boundary or
@@ -529,6 +598,37 @@ impl IngestIndex {
         }
         let (offset, len) = ranges[i - 1];
         start >= offset && start + m <= offset + len
+    }
+}
+
+impl QueryEngine for IngestIndex {
+    fn query(&self, pattern: &[u8]) -> UsiQuery {
+        IngestIndex::query(self, pattern)
+    }
+
+    fn query_accumulator(&self, pattern: &[u8]) -> (UtilityAccumulator, QuerySource) {
+        IngestIndex::query_accumulator(self, pattern)
+    }
+
+    fn query_batch(&self, patterns: &[&[u8]]) -> Vec<UsiQuery> {
+        IngestIndex::query_batch(self, patterns)
+    }
+
+    fn utility(&self) -> GlobalUtility {
+        IngestIndex::utility(self)
+    }
+
+    fn indexed_len(&self) -> usize {
+        self.len()
+    }
+
+    fn cached_substrings(&self) -> usize {
+        self.base.cached_substrings()
+            + self.segments.iter().map(|seg| seg.index.cached_substrings()).sum::<usize>()
+    }
+
+    fn size_breakdown(&self) -> IndexSize {
+        IngestIndex::size_breakdown(self)
     }
 }
 
@@ -678,6 +778,59 @@ mod tests {
                 assert_eq!(got.value, want.value, "{agg:?} {pattern:?}");
             }
         }
+    }
+
+    #[test]
+    fn segment_dir_persists_and_remaps_segments_with_identical_answers() {
+        let dir = std::env::temp_dir().join("usi-ingest-segdir-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let mut rng = StdRng::seed_from_u64(61);
+        let ws = random_ws(&mut rng, 120);
+        let opts = IngestOptions {
+            seal_threshold: 16,
+            compact_fanout: 2,
+            segment_dir: Some(dir.clone()),
+            ..IngestOptions::default()
+        };
+        let mut mapped = IngestIndex::new(builder(15, 8).build(ws.clone()), opts);
+        let mut heap = IngestIndex::new(
+            builder(15, 8).build(ws),
+            IngestOptions { seal_threshold: 16, compact_fanout: 2, ..IngestOptions::default() },
+        );
+        for _ in 0..100 {
+            let letter = b'a' + rng.gen_range(0..3u8);
+            let weight = rng.gen_range(0..8) as f64 * 0.25;
+            mapped.push(letter, weight);
+            heap.push(letter, weight);
+        }
+        mapped.compact_to_quiescence();
+        heap.compact_to_quiescence();
+
+        assert!(!mapped.segments().is_empty());
+        // on targets with the mmap wrapper every sealed/compacted
+        // segment is served from its file; elsewhere the persist step
+        // still ran but the view is owned bytes
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        assert!(mapped.segments().iter().all(|s| s.index().is_memory_mapped()));
+        let files: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(files.len(), mapped.segments().len(), "one live file per segment: {files:?}");
+        assert!(files.iter().all(|f| f.starts_with("seg-") && f.ends_with(".usix")));
+
+        let text = mapped.text();
+        assert_eq!(text, heap.text());
+        for _ in 0..40 {
+            let m = rng.gen_range(1..25usize);
+            let i = rng.gen_range(0..text.len() - m);
+            let pattern = &text[i..i + m];
+            assert_eq!(mapped.query(pattern), heap.query(pattern), "pattern {pattern:?}");
+        }
+        check_against_scratch(&mapped, 15, 8, &[text.clone(), b"zzz".to_vec()]);
     }
 
     #[test]

@@ -37,7 +37,7 @@ use usi_strings::UtilityAccumulator;
 
 /// Pipeline configuration: the in-memory knobs plus durability and
 /// threading choices.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IngestConfig {
     /// Seal the tail into a segment at this many letters.
     pub seal_threshold: usize,
@@ -54,6 +54,10 @@ pub struct IngestConfig {
     /// Run compaction on a background thread instead of inline on the
     /// append path.
     pub background_compaction: bool,
+    /// Persist sealed/compacted segments under this directory and
+    /// serve them through zero-copy storage views; created on open.
+    /// See [`IngestOptions::segment_dir`].
+    pub segment_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for IngestConfig {
@@ -66,6 +70,7 @@ impl Default for IngestConfig {
             seed: opts.seed,
             sync_wal: true,
             background_compaction: false,
+            segment_dir: None,
         }
     }
 }
@@ -77,6 +82,7 @@ impl IngestConfig {
             compact_fanout: self.compact_fanout,
             threads: self.threads,
             seed: self.seed,
+            segment_dir: self.segment_dir.clone(),
         }
     }
 }
@@ -168,6 +174,9 @@ impl IngestPipeline {
         wal_path: &Path,
         config: IngestConfig,
     ) -> Result<(Self, Replay), IngestError> {
+        if let Some(dir) = &config.segment_dir {
+            std::fs::create_dir_all(dir)?;
+        }
         let (wal, replay) = Wal::open(wal_path, config.sync_wal)?;
         let mut index = IngestIndex::new(base, config.options());
         for record in &replay.records {
@@ -352,6 +361,43 @@ impl IngestPipeline {
                 .wait_timeout(nudged, Duration::from_millis(10))
                 .expect("compactor signal lock poisoned");
         }
+    }
+}
+
+impl usi_core::QueryEngine for IngestPipeline {
+    fn query(&self, pattern: &[u8]) -> UsiQuery {
+        IngestPipeline::query(self, pattern)
+    }
+
+    fn query_accumulator(&self, pattern: &[u8]) -> (UtilityAccumulator, QuerySource) {
+        IngestPipeline::query_accumulator(self, pattern)
+    }
+
+    fn query_batch(&self, patterns: &[&[u8]]) -> Vec<UsiQuery> {
+        IngestPipeline::query_batch(self, patterns)
+    }
+
+    fn query_accumulator_batch(
+        &self,
+        patterns: &[&[u8]],
+    ) -> Vec<(UtilityAccumulator, QuerySource)> {
+        IngestPipeline::query_accumulator_batch(self, patterns)
+    }
+
+    fn utility(&self) -> usi_strings::GlobalUtility {
+        self.with_state(|s| s.utility())
+    }
+
+    fn indexed_len(&self) -> usize {
+        self.with_state(|s| s.len())
+    }
+
+    fn cached_substrings(&self) -> usize {
+        self.with_state(usi_core::QueryEngine::cached_substrings)
+    }
+
+    fn size_breakdown(&self) -> usi_core::index::IndexSize {
+        self.with_state(|s| s.size_breakdown())
     }
 }
 

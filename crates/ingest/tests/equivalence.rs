@@ -123,7 +123,7 @@ proptest! {
             let ws = WeightedString::new(base.clone(), weights_for(3, base.len())).unwrap();
             UsiBuilder::new().with_k(10).deterministic(4).build(ws)
         };
-        let (pipeline, _) = IngestPipeline::open(build_base(), &path, config).unwrap();
+        let (pipeline, _) = IngestPipeline::open(build_base(), &path, config.clone()).unwrap();
         // split the appends into random batches
         let mut rng = StdRng::seed_from_u64(batch_seed);
         let appended_weights = weights_for(5, appended.len());

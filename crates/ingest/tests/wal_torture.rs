@@ -119,7 +119,7 @@ proptest! {
         for cut in cuts {
             std::fs::write(&path, &bytes[..cut]).unwrap();
             let (pipeline, replay) =
-                IngestPipeline::open(build_base(), &path, config).unwrap();
+                IngestPipeline::open(build_base(), &path, config.clone()).unwrap();
             let survived = prefix_lens[replay.records.len()];
 
             // expected: base + the surviving whole batches

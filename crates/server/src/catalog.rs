@@ -32,9 +32,22 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use usi_core::index::IndexSize;
-use usi_core::{merged_total, PersistError, QuerySource, UsiIndex, UsiQuery};
+use usi_core::{merged_total, PersistError, QueryEngine, QuerySource, UsiIndex, UsiQuery};
 use usi_ingest::{IngestError, IngestPipeline, IngestStats};
 use usi_strings::{GlobalUtility, LruCache, UtilityAccumulator};
+
+/// How a catalog materialises `.usix` files.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoadOptions {
+    /// Open files as zero-copy storage views
+    /// ([`usi_core::persist::open_mmap`]) instead of copying every
+    /// section onto the heap: cold-start and resident memory then
+    /// scale with the number of documents, not their total bytes.
+    pub mmap: bool,
+    /// Worker threads for directory loads; `0` means
+    /// `available_parallelism`.
+    pub threads: usize,
+}
 
 /// Entries per document in the pattern → answer cache. Patterns are
 /// short and answers are `Copy`, so this costs a few tens of KiB per
@@ -123,33 +136,32 @@ impl Doc {
         matches!(self.backend, Backend::Ingest(_))
     }
 
+    /// The query engine behind this document. Every query-path and
+    /// stats accessor dispatches through this one seam instead of
+    /// matching on the backend — new backends only have to implement
+    /// [`QueryEngine`].
+    pub fn engine(&self) -> &dyn QueryEngine {
+        match &self.backend {
+            Backend::Static(index) => index,
+            Backend::Ingest(pipeline) => pipeline,
+        }
+    }
+
     /// Total indexed letters (for ingest documents: base + segments +
     /// tail).
     pub fn n(&self) -> usize {
-        match &self.backend {
-            Backend::Static(index) => index.text().len(),
-            Backend::Ingest(pipeline) => pipeline.with_state(|s| s.len()),
-        }
+        self.engine().indexed_len()
     }
 
     /// Cached substrings in the hash table(s) `H` (summed over base and
     /// segments for ingest documents).
     pub fn cached_substrings(&self) -> usize {
-        match &self.backend {
-            Backend::Static(index) => index.cached_substrings(),
-            Backend::Ingest(pipeline) => pipeline.with_state(|s| {
-                s.base().cached_substrings()
-                    + s.segments().iter().map(|seg| seg.index().cached_substrings()).sum::<usize>()
-            }),
-        }
+        self.engine().cached_substrings()
     }
 
     /// The utility function shared by every component of the document.
     pub fn utility(&self) -> GlobalUtility {
-        match &self.backend {
-            Backend::Static(index) => index.utility(),
-            Backend::Ingest(pipeline) => pipeline.with_state(|s| s.utility()),
-        }
+        self.engine().utility()
     }
 
     /// `τ_K` of the (base) index, when built exactly.
@@ -171,10 +183,7 @@ impl Doc {
     /// Size breakdown (summed over base, segments and tail for ingest
     /// documents).
     pub fn size_breakdown(&self) -> IndexSize {
-        match &self.backend {
-            Backend::Static(index) => index.size_breakdown(),
-            Backend::Ingest(pipeline) => pipeline.with_state(|s| s.size_breakdown()),
-        }
+        self.engine().size_breakdown()
     }
 
     /// Bounded-staleness statistics; `None` for frozen documents.
@@ -207,10 +216,7 @@ impl Doc {
     /// state lock is a read-write lock, so concurrent chunk readers
     /// don't exclude each other.
     fn compute_batch(&self, patterns: &[&[u8]], threads: usize) -> Vec<UsiQuery> {
-        let run = |part: &[&[u8]]| match &self.backend {
-            Backend::Static(index) => index.query_batch(part),
-            Backend::Ingest(pipeline) => pipeline.query_batch(part),
-        };
+        let run = |part: &[&[u8]]| self.engine().query_batch(part);
         let threads = threads.max(1).min(patterns.len().max(1));
         if threads == 1 {
             return run(patterns);
@@ -274,10 +280,7 @@ impl Doc {
         &self,
         patterns: &[&[u8]],
     ) -> Vec<(UtilityAccumulator, QuerySource)> {
-        match &self.backend {
-            Backend::Static(index) => index.query_accumulator_batch(patterns),
-            Backend::Ingest(pipeline) => pipeline.query_accumulator_batch(patterns),
-        }
+        self.engine().query_accumulator_batch(patterns)
     }
 }
 
@@ -377,19 +380,34 @@ impl Catalog {
     }
 
     /// Reads and validates one `.usix` file without touching the
-    /// catalog; the document id is the file stem.
-    fn parse_usix(path: &Path) -> Result<(String, UsiIndex), CatalogError> {
+    /// catalog; the document id is the file stem. With `mmap` the index
+    /// is a zero-copy storage view; otherwise every section is copied
+    /// onto the heap.
+    fn parse_usix(path: &Path, mmap: bool) -> Result<(String, UsiIndex), CatalogError> {
         let display = path.display().to_string();
-        let file = std::fs::File::open(path).map_err(|e| CatalogError::Io(display.clone(), e))?;
-        let mut reader = io::BufReader::new(file);
-        let index = UsiIndex::read_from(&mut reader).map_err(|e| CatalogError::Load(display, e))?;
+        let index = if mmap {
+            usi_core::persist::open_mmap(path).map_err(|e| match e {
+                PersistError::Io(e) => CatalogError::Io(display.clone(), e),
+                e => CatalogError::Load(display.clone(), e),
+            })?
+        } else {
+            let file =
+                std::fs::File::open(path).map_err(|e| CatalogError::Io(display.clone(), e))?;
+            let mut reader = io::BufReader::new(file);
+            UsiIndex::read_from(&mut reader).map_err(|e| CatalogError::Load(display, e))?
+        };
         let id = path.file_stem().map_or_else(String::new, |s| s.to_string_lossy().into_owned());
         Ok((id, index))
     }
 
     /// Loads one `.usix` file; the document id is the file stem.
     pub fn load_usix(&self, path: &Path) -> Result<Arc<Doc>, CatalogError> {
-        let (id, index) = Self::parse_usix(path)?;
+        self.load_usix_with(path, LoadOptions::default())
+    }
+
+    /// [`Catalog::load_usix`] with explicit [`LoadOptions`].
+    pub fn load_usix_with(&self, path: &Path, opts: LoadOptions) -> Result<Arc<Doc>, CatalogError> {
+        let (id, index) = Self::parse_usix(path, opts.mmap)?;
         Ok(self.insert(id, index))
     }
 
@@ -406,7 +424,20 @@ impl Catalog {
         wal_path: &Path,
         config: usi_ingest::IngestConfig,
     ) -> Result<(Arc<Doc>, usi_ingest::Replay), CatalogError> {
-        let (id, index) = Self::parse_usix(path)?;
+        self.load_usix_ingest_with(path, wal_path, config, LoadOptions::default())
+    }
+
+    /// [`Catalog::load_usix_ingest`] with explicit [`LoadOptions`]:
+    /// with `mmap` the base index is a zero-copy storage view (sealed
+    /// segments follow `config.segment_dir`).
+    pub fn load_usix_ingest_with(
+        &self,
+        path: &Path,
+        wal_path: &Path,
+        config: usi_ingest::IngestConfig,
+        opts: LoadOptions,
+    ) -> Result<(Arc<Doc>, usi_ingest::Replay), CatalogError> {
+        let (id, index) = Self::parse_usix(path, opts.mmap)?;
         let (pipeline, replay) = IngestPipeline::open(index, wal_path, config)
             .map_err(|e| CatalogError::Ingest(wal_path.display().to_string(), e))?;
         Ok((self.insert_ingest(id, pipeline), replay))
@@ -418,37 +449,52 @@ impl Catalog {
     /// Returns the ids loaded (sorted for directories: deterministic
     /// across filesystems). See [`Catalog::load_path_threads`].
     pub fn load_path(&self, path: &Path) -> Result<Vec<String>, CatalogError> {
-        let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
-        self.load_path_threads(path, threads)
+        self.load_path_with(path, LoadOptions::default())
     }
 
-    /// [`Catalog::load_path`] with an explicit worker count. Files are
-    /// read and validated concurrently on scoped threads; documents are
-    /// then registered in sorted file order. On failure the error
-    /// reported is the **first** failing file in that order (not
-    /// whichever worker lost the race), and no document from the batch
-    /// is registered — a failed load never leaves a half-loaded
-    /// directory behind.
+    /// [`Catalog::load_path`] with an explicit worker count.
     pub fn load_path_threads(
         &self,
         path: &Path,
         threads: usize,
     ) -> Result<Vec<String>, CatalogError> {
+        self.load_path_with(path, LoadOptions { threads, ..LoadOptions::default() })
+    }
+
+    /// [`Catalog::load_path`] with explicit [`LoadOptions`]. Files are
+    /// read and validated concurrently on scoped threads; documents are
+    /// then registered in sorted file order. On failure the error
+    /// reported is the **first** failing file in that order (not
+    /// whichever worker lost the race), and no document from the batch
+    /// is registered — a failed load never leaves a half-loaded
+    /// directory behind. Directory entries that are not regular
+    /// `.usix` files — stray `.usil` WALs living next to their
+    /// indexes, editor droppings, subdirectories — are skipped, not
+    /// errors.
+    pub fn load_path_with(
+        &self,
+        path: &Path,
+        opts: LoadOptions,
+    ) -> Result<Vec<String>, CatalogError> {
+        let threads = match opts.threads {
+            0 => std::thread::available_parallelism().map_or(1, |p| p.get()),
+            t => t,
+        };
         let display = path.display().to_string();
         let meta = std::fs::metadata(path).map_err(|e| CatalogError::Io(display.clone(), e))?;
         if !meta.is_dir() {
-            return Ok(vec![self.load_usix(path)?.id().to_string()]);
+            return Ok(vec![self.load_usix_with(path, opts)?.id().to_string()]);
         }
         let mut files: Vec<_> = std::fs::read_dir(path)
             .map_err(|e| CatalogError::Io(display.clone(), e))?
             .filter_map(Result::ok)
             .map(|entry| entry.path())
-            .filter(|p| p.extension().is_some_and(|ext| ext == "usix"))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "usix") && p.is_file())
             .collect();
         files.sort();
         let threads = threads.max(1).min(files.len().max(1));
         let parsed: Vec<Result<(String, UsiIndex), CatalogError>> = if threads == 1 {
-            files.iter().map(|file| Self::parse_usix(file)).collect()
+            files.iter().map(|file| Self::parse_usix(file, opts.mmap)).collect()
         } else {
             let chunk = files.len().div_ceil(threads);
             let parts: Vec<Vec<Result<(String, UsiIndex), CatalogError>>> =
@@ -457,7 +503,9 @@ impl Catalog {
                         .chunks(chunk)
                         .map(|part| {
                             scope.spawn(move || {
-                                part.iter().map(|file| Self::parse_usix(file)).collect::<Vec<_>>()
+                                part.iter()
+                                    .map(|file| Self::parse_usix(file, opts.mmap))
+                                    .collect::<Vec<_>>()
                             })
                         })
                         .collect();
@@ -820,6 +868,64 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn directory_load_skips_stray_non_usix_entries() {
+        let dir = std::env::temp_dir().join("usi-catalog-load-tests").join("mixed");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for seed in 0..2u64 {
+            let index =
+                UsiBuilder::new().with_k(10).deterministic(seed).build(sample_ws(seed, 200));
+            let mut f = std::fs::File::create(dir.join(format!("doc{seed}.usix"))).unwrap();
+            index.write_to(&mut f).unwrap();
+        }
+        // the stray files an ingest-enabled corpus directory actually
+        // accumulates: a WAL next to its index, notes, a subdirectory
+        // whose name happens to end in .usix
+        std::fs::write(dir.join("doc0.usil"), b"USIL\x01\x00\x00\x00garbage").unwrap();
+        std::fs::write(dir.join("README.txt"), b"not an index").unwrap();
+        std::fs::create_dir_all(dir.join("segments.usix")).unwrap();
+        let catalog = Catalog::new(2);
+        let ids = catalog.load_path(&dir).expect("stray entries must be skipped, not errors");
+        assert_eq!(ids, vec!["doc0".to_string(), "doc1".to_string()]);
+        assert_eq!(catalog.len(), 2);
+    }
+
+    #[test]
+    fn mmap_loads_answer_identically_to_owned_loads() {
+        let dir = std::env::temp_dir().join("usi-catalog-load-tests").join("mmap");
+        std::fs::create_dir_all(&dir).unwrap();
+        for seed in 0..3u64 {
+            let index =
+                UsiBuilder::new().with_k(25).deterministic(seed).build(sample_ws(seed, 500));
+            let mut f = std::fs::File::create(dir.join(format!("doc{seed}.usix"))).unwrap();
+            index.write_to(&mut f).unwrap();
+        }
+        let owned = Catalog::new(2);
+        owned.load_path(&dir).unwrap();
+        let mapped = Catalog::new(2);
+        let ids = mapped.load_path_with(&dir, LoadOptions { mmap: true, threads: 2 }).unwrap();
+        assert_eq!(ids, owned.doc_ids());
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        for id in &ids {
+            let doc = mapped.get(id).unwrap();
+            assert!(doc.index().unwrap().is_memory_mapped(), "doc {id}");
+        }
+        let patterns: Vec<&[u8]> = vec![b"a", b"ab", b"abc", b"bca", b"zzz", b""];
+        for id in &ids {
+            assert_eq!(
+                mapped.query_batch(id, &patterns, 2).unwrap(),
+                owned.query_batch(id, &patterns, 2).unwrap(),
+                "doc {id}"
+            );
+        }
+        // fan-out across mapped docs merges the same totals
+        let fan_mapped = mapped.query_all(b"ab");
+        let fan_owned = owned.query_all(b"ab");
+        assert_eq!(fan_mapped.total_occurrences, fan_owned.total_occurrences);
+        assert_eq!(fan_mapped.total_value, fan_owned.total_value);
     }
 
     #[test]

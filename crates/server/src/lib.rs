@@ -35,7 +35,7 @@ pub mod http;
 pub mod json;
 pub mod pool;
 
-pub use catalog::{AppendError, Catalog, CatalogError, Doc, FanOut};
+pub use catalog::{AppendError, Catalog, CatalogError, Doc, FanOut, LoadOptions};
 pub use http::{respond, serve, Response, ServerConfig, ServerHandle};
 pub use json::{Json, JsonError};
 pub use pool::WorkerPool;

@@ -29,10 +29,19 @@ pub struct Psw {
 impl Psw {
     /// Builds the array with a single scan (construction phase (iii)).
     pub fn new(weights: &[f64]) -> Self {
-        let mut sums = Vec::with_capacity(weights.len() + 1);
+        Self::from_weights(weights.iter().copied())
+    }
+
+    /// Iterator variant of [`Psw::new`], for weight sequences that have
+    /// no contiguous `&[f64]` to borrow (e.g. the little-endian weight
+    /// section of a memory-mapped index file). Accumulates in the same
+    /// order, so the resulting sums are bit-identical to the slice path.
+    pub fn from_weights(weights: impl IntoIterator<Item = f64>) -> Self {
+        let weights = weights.into_iter();
+        let mut sums = Vec::with_capacity(weights.size_hint().0 + 1);
         let mut acc = 0.0f64;
         sums.push(acc);
-        for &w in weights {
+        for w in weights {
             acc += w;
             sums.push(acc);
         }
@@ -141,16 +150,18 @@ impl LocalIndex {
     /// `ln` would poison the prefix sums (clamp zero probabilities to a
     /// small epsilon upstream if needed).
     pub fn new(weights: &[f64], kind: LocalWindow) -> Self {
+        Self::from_weights(weights.iter().copied(), kind)
+    }
+
+    /// Iterator variant of [`LocalIndex::new`]; same panics, same
+    /// bit-identical prefix sums (the accumulation order is unchanged).
+    pub fn from_weights(weights: impl IntoIterator<Item = f64>, kind: LocalWindow) -> Self {
         let psw = match kind {
-            LocalWindow::Sum => Psw::new(weights),
-            LocalWindow::Product => {
-                assert!(
-                    weights.iter().all(|&w| w > 0.0),
-                    "product locals require strictly positive weights"
-                );
-                let logs: Vec<f64> = weights.iter().map(|w| w.ln()).collect();
-                Psw::new(&logs)
-            }
+            LocalWindow::Sum => Psw::from_weights(weights),
+            LocalWindow::Product => Psw::from_weights(weights.into_iter().map(|w| {
+                assert!(w > 0.0, "product locals require strictly positive weights");
+                w.ln()
+            })),
         };
         Self { kind, psw }
     }

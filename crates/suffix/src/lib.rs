@@ -44,6 +44,6 @@ pub use lcp::{lcp_array, lcp_array_threads};
 pub use parallel::{suffix_array_sharded, suffix_array_threads};
 pub use rmq::SparseTableRmq;
 pub use sais::{suffix_array, suffix_array_induced_threads, suffix_array_ints};
-pub use search::SuffixArraySearcher;
+pub use search::{SaAccess, SuffixArraySearcher};
 pub use sparse::{sparse_suffix_array, SparseIndex};
 pub use ukkonen::SuffixTree;

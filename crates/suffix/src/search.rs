@@ -8,7 +8,46 @@
 
 use std::cmp::Ordering;
 
+/// Read access to a suffix array, however its ranks are stored.
+///
+/// The canonical backing is a `&[u32]` slice; storage-backed indexes
+/// (e.g. a memory-mapped `.usix` file whose suffix-array section is not
+/// 4-byte aligned) implement this over raw little-endian bytes instead,
+/// decoding one rank per access.
+pub trait SaAccess {
+    /// Number of ranks (`n`).
+    fn len(&self) -> usize;
+
+    /// The suffix start position at `rank`.
+    ///
+    /// # Panics
+    /// Panics if `rank >= len()`.
+    fn at(&self, rank: usize) -> u32;
+
+    /// Whether the array is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl SaAccess for &[u32] {
+    #[inline]
+    fn len(&self) -> usize {
+        <[u32]>::len(self)
+    }
+
+    #[inline]
+    fn at(&self, rank: usize) -> u32 {
+        self[rank]
+    }
+}
+
 /// Searches patterns in a text through its suffix array.
+///
+/// Generic over the suffix array's backing via [`SaAccess`]; the
+/// default is a borrowed `&[u32]` slice (constructed with
+/// [`SuffixArraySearcher::new`]), and storage views plug in through
+/// [`SuffixArraySearcher::with_access`].
 ///
 /// ```
 /// use usi_suffix::{suffix_array, SuffixArraySearcher};
@@ -23,15 +62,37 @@ use std::cmp::Ordering;
 /// assert!(s.interval(b"nab").is_none());
 /// ```
 #[derive(Debug, Clone, Copy)]
-pub struct SuffixArraySearcher<'a> {
+pub struct SuffixArraySearcher<'a, A: SaAccess = &'a [u32]> {
     text: &'a [u8],
-    sa: &'a [u32],
+    sa: A,
 }
 
 impl<'a> SuffixArraySearcher<'a> {
     /// Wraps a text and its suffix array (borrowed; the searcher is a
     /// lightweight view).
     pub fn new(text: &'a [u8], sa: &'a [u32]) -> Self {
+        Self::with_access(text, sa)
+    }
+
+    /// The underlying suffix array.
+    #[inline]
+    pub fn suffix_array(&self) -> &'a [u32] {
+        self.sa
+    }
+
+    /// The starting positions of `pattern` in the text, as the slice
+    /// `SA[lb..rb]` (unsorted: suffix-array order). Empty if absent.
+    pub fn occurrences(&self, pattern: &[u8]) -> &'a [u32] {
+        match self.interval(pattern) {
+            Some(r) => &self.sa[r],
+            None => &[],
+        }
+    }
+}
+
+impl<'a, A: SaAccess> SuffixArraySearcher<'a, A> {
+    /// Wraps a text and any [`SaAccess`] backing of its suffix array.
+    pub fn with_access(text: &'a [u8], sa: A) -> Self {
         debug_assert_eq!(text.len(), sa.len());
         Self { text, sa }
     }
@@ -42,10 +103,10 @@ impl<'a> SuffixArraySearcher<'a> {
         self.text
     }
 
-    /// The underlying suffix array.
+    /// The suffix-array backing.
     #[inline]
-    pub fn suffix_array(&self) -> &'a [u32] {
-        self.sa
+    pub fn access(&self) -> &A {
+        &self.sa
     }
 
     /// Compares the length-`|pattern|` prefix of the suffix at `pos`
@@ -66,24 +127,15 @@ impl<'a> SuffixArraySearcher<'a> {
             return if self.sa.is_empty() { None } else { Some(0..self.sa.len()) };
         }
         let lb = partition_point(self.sa.len(), |i| {
-            self.cmp_prefix(self.sa[i], pattern) == Ordering::Less
+            self.cmp_prefix(self.sa.at(i), pattern) == Ordering::Less
         });
         let rb = partition_point(self.sa.len(), |i| {
-            self.cmp_prefix(self.sa[i], pattern) != Ordering::Greater
+            self.cmp_prefix(self.sa.at(i), pattern) != Ordering::Greater
         });
         if lb < rb {
             Some(lb..rb)
         } else {
             None
-        }
-    }
-
-    /// The starting positions of `pattern` in the text, as the slice
-    /// `SA[lb..rb]` (unsorted: suffix-array order). Empty if absent.
-    pub fn occurrences(&self, pattern: &[u8]) -> &'a [u32] {
-        match self.interval(pattern) {
-            Some(r) => &self.sa[r],
-            None => &[],
         }
     }
 
@@ -132,7 +184,7 @@ impl<'a> SuffixArraySearcher<'a> {
             while lo < hi {
                 let mid = (lo + hi) / 2;
                 let skip = mlo.min(mhi);
-                let (ord, matched) = cmp_from(self.sa[mid], skip);
+                let (ord, matched) = cmp_from(self.sa.at(mid), skip);
                 if ord == Ordering::Less {
                     lo = mid + 1;
                     mlo = matched.min(m);
@@ -149,7 +201,7 @@ impl<'a> SuffixArraySearcher<'a> {
             while lo < hi {
                 let mid = (lo + hi) / 2;
                 let skip = mlo.min(mhi);
-                let (ord, matched) = cmp_from(self.sa[mid], skip);
+                let (ord, matched) = cmp_from(self.sa.at(mid), skip);
                 if ord != Ordering::Greater {
                     lo = mid + 1;
                     mlo = matched.min(m);

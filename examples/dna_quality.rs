@@ -58,7 +58,7 @@ fn main() {
 
     // Expected-frequency check: a pattern's quality compared against the
     // genome-wide average confidence.
-    let genome_avg: f64 = index.weighted_string().weights().iter().sum::<f64>() / n as f64;
+    let genome_avg: f64 = index.weights().iter().sum::<f64>() / n as f64;
     println!("genome-wide average confidence: {genome_avg:.3}");
 
     // Expected frequency (paper, Section I): with per-base correctness
@@ -69,7 +69,7 @@ fn main() {
         .with_k(n / 100)
         .with_local_window(LocalWindow::Product)
         .deterministic(11)
-        .build(index.weighted_string().clone());
+        .build(index.weighted_string().expect("built in memory").clone());
     println!("\nexpected vs observed frequency (sequencing-error adjusted):");
     for mer in [&b"ACGTAC"[..], b"CCGGCC", b"TGCATG"] {
         let q = ef_index.query(mer);

@@ -62,7 +62,7 @@ fn main() {
             .with_k(8)
             .with_aggregator(agg)
             .deterministic(42)
-            .build(index.weighted_string().clone());
+            .build(index.weighted_string().expect("built in memory").clone());
         let q = idx.query(b"TACCCC");
         println!("{}(TACCCC) = {:?}", agg.name(), q.value);
     }

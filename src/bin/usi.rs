@@ -4,16 +4,25 @@
 //! usi build <text-file> [--weights FILE | --uniform W] [--k K | --tau T]
 //!           [--approx S] [--agg sum|min|max|avg|count] [--local sum|product]
 //!           [--seed N] [--threads N] -o OUT.usix
-//! usi query <OUT.usix> <pattern> [<pattern>…] [--json]
-//! usi stats <OUT.usix>
+//! usi query <OUT.usix> <pattern> [<pattern>…] [--json] [--mmap]
+//! usi stats <OUT.usix> [--mmap]
+//! usi inspect <OUT.usix>
 //! usi topk  <text-file> --k K [--min-len L]
 //! usi tradeoff <text-file> [--points N]
 //! usi serve <dir-or-.usix>… [--addr HOST:PORT] [--workers N] [--shards N]
-//!           [--ingest-wal DIR] [--seal-threshold N] [--compact-fanout F]
+//!           [--mmap] [--ingest-wal DIR] [--seal-threshold N]
+//!           [--compact-fanout F] [--segment-dir DIR]
 //! usi ingest <base.usix> --wal PATH [--seal-threshold N] [--compact-fanout F]
-//!           [--threads N] [--weight W] [--no-sync] [--json]
-//!           [--replay [--query P]…]
+//!           [--threads N] [--weight W] [--no-sync] [--mmap]
+//!           [--segment-dir DIR] [--json] [--replay [--query P]…]
 //! ```
+//!
+//! `--mmap` loads `.usix` files as zero-copy storage views
+//! (`usi_core::persist::open_mmap`): cold-start and resident memory
+//! scale with the number of indexes instead of their bytes, at the
+//! price of the kernel paging sections in on first touch. `inspect`
+//! validates a file and prints its header, section sizes and checksum
+//! — the first tool to reach for over a suspect index file.
 //!
 //! Weights default to 1.0 per position; `--weights` reads
 //! whitespace-separated floats (one per text byte). `serve` runs the
@@ -79,7 +88,7 @@ struct Args {
 
 /// Flags that never take a value (so `--json idx.usix` does not swallow
 /// the index path as the flag's value).
-const BOOLEAN_FLAGS: &[&str] = &["json", "replay", "no-sync"];
+const BOOLEAN_FLAGS: &[&str] = &["json", "replay", "no-sync", "mmap"];
 
 impl Args {
     fn parse(raw: &[String]) -> Self {
@@ -203,7 +212,11 @@ fn cmd_build(args: &Args) {
     eprintln!("wrote {out_path}");
 }
 
-fn load_index(path: &str) -> UsiIndex {
+fn load_index(path: &str, mmap: bool) -> UsiIndex {
+    if mmap {
+        return usi::core::persist::open_mmap(Path::new(path))
+            .unwrap_or_else(|e| die(&format!("load failed: {path}: {e}")));
+    }
     let mut input = BufReader::new(
         File::open(path).unwrap_or_else(|e| die(&format!("cannot open {path}: {e}"))),
     );
@@ -214,7 +227,7 @@ fn cmd_query(args: &Args) {
     if args.positional.len() < 2 {
         die("query expects an index file and at least one pattern");
     }
-    let index = load_index(&args.positional[0]);
+    let index = load_index(&args.positional[0], args.has("mmap"));
     let agg = index.utility().aggregator;
     let json = args.has("json");
     for pattern in &args.positional[1..] {
@@ -252,6 +265,9 @@ fn ingest_config(args: &Args) -> IngestConfig {
     if let Some(t) = args.flag("threads") {
         config.threads = t.parse().unwrap_or_else(|_| die("bad --threads"));
     }
+    // segment-aware mmap: sealed/compacted segments are persisted here
+    // and served through zero-copy storage views
+    config.segment_dir = args.flag("segment-dir").map(std::path::PathBuf::from);
     config.sync_wal = !args.has("no-sync");
     config
 }
@@ -290,6 +306,7 @@ fn cmd_serve(args: &Args) {
         args.flag("workers").map_or(4, |s| s.parse().unwrap_or_else(|_| die("bad --workers")));
     let addr = args.flag("addr").unwrap_or("127.0.0.1:7878");
     let ingest_wal = args.flag("ingest-wal").map(std::path::PathBuf::from);
+    let load_opts = usi::server::LoadOptions { mmap: args.has("mmap"), threads: 0 };
 
     let catalog = Arc::new(Catalog::new(shards));
     let mut seen = std::collections::HashSet::new();
@@ -305,8 +322,14 @@ fn cmd_serve(args: &Args) {
             let stem =
                 file.file_stem().map_or_else(String::new, |s| s.to_string_lossy().into_owned());
             let wal_path = wal_dir.join(format!("{stem}.usil"));
+            let mut doc_config = config.clone();
+            if let Some(dir) = &doc_config.segment_dir {
+                // segment files are named by offset/length only, so
+                // each document gets its own namespace under the dir
+                doc_config.segment_dir = Some(dir.join(&stem));
+            }
             let (doc, replay) = catalog
-                .load_usix_ingest(&file, &wal_path, config)
+                .load_usix_ingest_with(&file, &wal_path, doc_config, load_opts)
                 .unwrap_or_else(|e| die(&format!("cannot load {}: {e}", file.display())));
             if !seen.insert(doc.id().to_string()) {
                 die(&format!("duplicate document id {:?} (file stems must be unique)", doc.id()));
@@ -324,7 +347,7 @@ fn cmd_serve(args: &Args) {
     } else {
         for path in &args.positional {
             let ids = catalog
-                .load_path(Path::new(path))
+                .load_path_with(Path::new(path), load_opts)
                 .unwrap_or_else(|e| die(&format!("cannot load {path}: {e}")));
             for id in &ids {
                 // ids are file stems; a collision would silently shadow
@@ -338,9 +361,10 @@ fn cmd_serve(args: &Args) {
     for id in catalog.doc_ids() {
         let doc = catalog.get(&id).expect("listed");
         eprintln!(
-            "loaded {id}: n = {}{}",
+            "loaded {id}: n = {}{}{}",
             doc.n(),
-            if doc.is_ingest() { " (ingest-enabled)" } else { "" }
+            if doc.is_ingest() { " (ingest-enabled)" } else { "" },
+            if doc.index().is_some_and(UsiIndex::is_memory_mapped) { " (mmap)" } else { "" }
         );
     }
     if catalog.is_empty() {
@@ -402,7 +426,7 @@ fn cmd_ingest(args: &Args) {
         die("ingest expects exactly one base .usix file");
     };
     let wal_path = args.flag("wal").unwrap_or_else(|| die("ingest requires --wal PATH"));
-    let base = load_index(base_path);
+    let base = load_index(base_path, args.has("mmap"));
     let config = ingest_config(args);
     let (pipeline, replay) = IngestPipeline::open(base, Path::new(wal_path), config)
         .unwrap_or_else(|e| die(&format!("cannot open {wal_path}: {e}")));
@@ -472,7 +496,7 @@ fn cmd_stats(args: &Args) {
     let [path] = &args.positional[..] else {
         die("stats expects exactly one index file");
     };
-    let index = load_index(path);
+    let index = load_index(path, args.has("mmap"));
     let size = index.size_breakdown();
     println!("n\t{}", index.text().len());
     println!("cached substrings\t{}", index.cached_substrings());
@@ -483,6 +507,55 @@ fn cmd_stats(args: &Args) {
     println!("suffix array bytes\t{}", size.suffix_array);
     println!("psw bytes\t{}", size.psw);
     println!("hash table bytes\t{}", size.hash_table);
+    println!("total bytes\t{}", size.total());
+}
+
+/// `usi inspect <file.usix>`: header, section layout, checksum status.
+/// Runs the zero-copy open path, so every structural invariant the
+/// server would check is checked here — the debugging tool for a
+/// `.usix` file that refuses to load.
+fn cmd_inspect(args: &Args) {
+    let [path] = &args.positional[..] else {
+        die("inspect expects exactly one index file");
+    };
+    let bytes = std::fs::read(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    // informational content fingerprint: CRC-32, the same polynomial
+    // the ingest WAL stamps its records with
+    let crc = usi::ingest::wal::crc32(&bytes);
+    println!("file\t{path}");
+    println!("file bytes\t{}", bytes.len());
+    println!("crc32\t{crc:#010x}");
+    let index = match usi::core::persist::open_mmap(Path::new(path)) {
+        Ok(index) => index,
+        Err(e) => {
+            println!("status\tcorrupt: {e}");
+            exit(1);
+        }
+    };
+    let stats = index.stats();
+    let size = index.size_breakdown();
+    println!("status\tvalid (magic, tags, permutation, weights, entry order)");
+    println!("format\tUSIX v1");
+    println!("backing\t{}", if index.is_memory_mapped() { "mmap" } else { "heap" });
+    println!("n\t{}", index.text().len());
+    println!("aggregator\t{}", index.utility().aggregator.name());
+    println!(
+        "local window\t{}",
+        match index.utility().local {
+            LocalWindow::Sum => "sum",
+            LocalWindow::Product => "product",
+        }
+    );
+    println!("fingerprint base\t{}", index.fingerprinter().base());
+    println!("cached substrings\t{}", index.cached_substrings());
+    println!("k requested\t{}", stats.k_requested);
+    println!("tau\t{}", stats.tau.map_or("n/a".into(), |t| t.to_string()));
+    println!("distinct lengths\t{}", stats.distinct_lengths);
+    println!(
+        "section bytes\ttext {}, weights {}, suffix array {}, hash table {}",
+        size.text, size.weights, size.suffix_array, size.hash_table
+    );
+    println!("psw bytes (derived on load)\t{}", size.psw);
     println!("total bytes\t{}", size.total());
 }
 
@@ -533,13 +606,14 @@ fn cmd_tradeoff(args: &Args) {
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = raw.first().cloned() else {
-        die("usage: usi <build|query|stats|topk|tradeoff|serve|ingest> …");
+        die("usage: usi <build|query|stats|inspect|topk|tradeoff|serve|ingest> …");
     };
     let args = Args::parse(&raw[1..]);
     match command.as_str() {
         "build" => cmd_build(&args),
         "query" => cmd_query(&args),
         "stats" => cmd_stats(&args),
+        "inspect" => cmd_inspect(&args),
         "topk" => cmd_topk(&args),
         "tradeoff" => cmd_tradeoff(&args),
         "serve" => cmd_serve(&args),

@@ -236,3 +236,56 @@ fn corrupted_index_rejected() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("load failed"));
 }
+
+#[test]
+fn inspect_validates_and_mmap_query_matches_owned() {
+    let text_path = tmp("t9.txt");
+    std::fs::File::create(&text_path)
+        .unwrap()
+        .write_all(b"abracadabra_abracadabra_abracadabra")
+        .unwrap();
+    let index_path = tmp("t9.usix");
+    let out = usi()
+        .args([
+            "build",
+            text_path.to_str().unwrap(),
+            "--k",
+            "10",
+            "--seed",
+            "5",
+            "-o",
+            index_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // inspect: header, section sizes, checksum status
+    let out = usi().args(["inspect", index_path.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("status\tvalid"), "{stdout}");
+    assert!(stdout.contains("format\tUSIX v1"), "{stdout}");
+    assert!(stdout.contains("crc32\t0x"), "{stdout}");
+    assert!(stdout.contains("n\t35"), "{stdout}");
+    assert!(stdout.contains("section bytes\t"), "{stdout}");
+
+    // --mmap answers are identical to the owned load's
+    let owned =
+        usi().args(["query", index_path.to_str().unwrap(), "abra", "cad", "zzz"]).output().unwrap();
+    let mapped = usi()
+        .args(["query", "--mmap", index_path.to_str().unwrap(), "abra", "cad", "zzz"])
+        .output()
+        .unwrap();
+    assert!(mapped.status.success(), "{}", String::from_utf8_lossy(&mapped.stderr));
+    assert_eq!(owned.stdout, mapped.stdout);
+
+    // a truncated file is reported corrupt with a nonzero exit
+    let bytes = std::fs::read(&index_path).unwrap();
+    let broken_path = tmp("t9-broken.usix");
+    std::fs::write(&broken_path, &bytes[..bytes.len() - 5]).unwrap();
+    let out = usi().args(["inspect", broken_path.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success(), "truncated file must fail inspection");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("status\tcorrupt"), "{stdout}");
+}

@@ -54,7 +54,7 @@ fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
     exchange(
         addr,
         &format!(
-            "POST {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+            "POST {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
             body.len()
         ),
     )
@@ -73,7 +73,7 @@ fn kill_and_replay_restores_the_served_state() {
         background_compaction: true, // exercise the compactor thread too
         ..IngestConfig::default()
     };
-    let (pipeline, _) = IngestPipeline::open(base.clone(), &wal_path, config).unwrap();
+    let (pipeline, _) = IngestPipeline::open(base.clone(), &wal_path, config.clone()).unwrap();
 
     // durable appends in several batches
     let mut rng = StdRng::seed_from_u64(77);
@@ -135,7 +135,7 @@ fn http_appends_survive_a_server_kill() {
         ..IngestConfig::default()
     };
     let catalog = Arc::new(Catalog::new(2));
-    let (pipeline, _) = IngestPipeline::open(base.clone(), &wal_path, config).unwrap();
+    let (pipeline, _) = IngestPipeline::open(base.clone(), &wal_path, config.clone()).unwrap();
     catalog.insert_ingest("live", pipeline);
 
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();

@@ -36,17 +36,48 @@ fn exchange(addr: SocketAddr, request: &str) -> (u16, String) {
 }
 
 fn get(addr: SocketAddr, path: &str) -> (u16, String) {
-    exchange(addr, &format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n"))
+    // one-shot helpers opt out of keep-alive so read-to-EOF framing works
+    exchange(addr, &format!("GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"))
 }
 
 fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
     exchange(
         addr,
         &format!(
-            "POST {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+            "POST {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
             body.len()
         ),
     )
+}
+
+/// Reads one `Content-Length`-framed response from a persistent
+/// connection (a keep-alive client cannot read to EOF).
+fn read_framed_response(stream: &mut TcpStream) -> (u16, String, bool) {
+    let mut bytes = Vec::new();
+    let head_end = loop {
+        if let Some(pos) = bytes.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let mut chunk = [0u8; 512];
+        let got = stream.read(&mut chunk).expect("response head");
+        assert!(got > 0, "server closed mid-head: {:?}", String::from_utf8_lossy(&bytes));
+        bytes.extend_from_slice(&chunk[..got]);
+    };
+    let head = String::from_utf8(bytes[..head_end].to_vec()).unwrap();
+    let status: u16 = head.split(' ').nth(1).and_then(|s| s.parse().ok()).expect("status code");
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .expect("Content-Length")
+        .trim()
+        .parse()
+        .unwrap();
+    let keep_alive = head.contains("Connection: keep-alive");
+    let mut body = bytes[head_end + 4..].to_vec();
+    let already = body.len();
+    body.resize(content_length, 0);
+    stream.read_exact(&mut body[already..]).expect("response body");
+    (status, String::from_utf8(body).unwrap(), keep_alive)
 }
 
 fn query_body(doc: &str, patterns: &[&[u8]]) -> String {
@@ -157,4 +188,61 @@ fn catalog_server_answers_match_direct_queries_byte_for_byte() {
         TcpStream::connect(addr).is_err(),
         "server must stop accepting connections after shutdown"
     );
+}
+
+#[test]
+fn keep_alive_connection_stays_open_across_sequential_requests() {
+    let index = sample_index(7, 1_200);
+    let catalog = Arc::new(Catalog::new(2));
+    catalog.insert("solo", index.clone());
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let handle =
+        serve(Arc::clone(&catalog), listener, ServerConfig::with_workers(1)).expect("start server");
+    let addr = handle.addr();
+
+    // one TCP connection, several request/response exchanges on it —
+    // the pre-keep-alive server closed after the first
+    let mut stream = TcpStream::connect(addr).expect("connect once");
+    let local = stream.local_addr().unwrap();
+
+    for round in 0..3 {
+        stream.write_all(b"GET /healthz HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let (status, body, keep_alive) = read_framed_response(&mut stream);
+        assert_eq!(status, 200, "round {round}");
+        assert_eq!(body, r#"{"status":"ok","docs":1}"#, "round {round}");
+        assert!(keep_alive, "round {round}: server must advertise keep-alive");
+        // the socket is provably the same one: the local port never changed
+        assert_eq!(stream.local_addr().unwrap(), local, "round {round}");
+    }
+
+    // a query on the same connection answers byte-for-byte like a
+    // direct index call — keep-alive changes framing, not answers
+    let patterns: Vec<&[u8]> = vec![b"ab", b"zzz"];
+    let body = query_body("solo", &patterns);
+    stream
+        .write_all(
+            format!(
+                "POST /v1/query HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let direct: Vec<UsiQuery> = patterns.iter().map(|p| index.query(p)).collect();
+    let expected = query_response_json("solo", &patterns, &direct).encode();
+    let (status, body, keep_alive) = read_framed_response(&mut stream);
+    assert_eq!(status, 200);
+    assert_eq!(body, expected);
+    assert!(keep_alive);
+
+    // asking to close ends the connection cleanly (EOF after response)
+    stream.write_all(b"GET /healthz HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n").unwrap();
+    let (status, _, keep_alive) = read_framed_response(&mut stream);
+    assert_eq!(status, 200);
+    assert!(!keep_alive, "final response must say Connection: close");
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "no bytes after the final response");
+
+    handle.shutdown();
 }

@@ -8,7 +8,7 @@ use usi::strings::GlobalUtility;
 fn check_index(index: &UsiIndex, patterns: &[Vec<u8>]) {
     let u = index.utility();
     for pat in patterns {
-        let want = u.brute_force(index.weighted_string(), pat);
+        let want = u.brute_force(index.weighted_string().expect("owned index"), pat);
         let got = index.query(pat);
         assert_eq!(got.occurrences, want.count(), "pattern {pat:?}");
         match (got.value, want.finish(u.aggregator)) {
