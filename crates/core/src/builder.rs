@@ -161,6 +161,7 @@ impl UsiBuilder {
     /// Builds the index over `ws`, running all three phases with up to
     /// [`BuildOptions::threads`] workers.
     pub fn build(&self, ws: WeightedString) -> UsiIndex {
+        let build_started = Instant::now();
         let n = ws.len();
         let threads = self.options.threads;
         let fingerprinter = match self.seed {
@@ -241,7 +242,21 @@ impl UsiBuilder {
         stats.k_stored = h.len();
         stats.distinct_lengths = distinct_lengths;
 
-        UsiIndex::from_parts(ws, sa, psw, fingerprinter, utility, h, stats)
+        let index = UsiIndex::from_parts(ws, sa, psw, fingerprinter, utility, h, stats);
+        // cold path: one registry lookup and one observation per build
+        usi_obs::global()
+            .histogram(
+                "usi_index_build_seconds",
+                "End-to-end UsiBuilder::build wall-clock time",
+                usi_obs::default_latency_buckets(),
+            )
+            .observe_duration(build_started.elapsed());
+        usi_obs::tracer().record(usi_obs::Span::since(
+            "index.build",
+            build_started,
+            vec![("n".into(), n.to_string()), ("k".into(), index.cached_substrings().to_string())],
+        ));
+        index
     }
 }
 

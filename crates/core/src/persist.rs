@@ -158,6 +158,13 @@ impl UsiIndex {
     /// Deserialises an index written by [`UsiIndex::write_to`],
     /// revalidating structural invariants.
     pub fn read_from<R: Read>(input: &mut R) -> Result<Self, PersistError> {
+        let started = std::time::Instant::now();
+        let index = Self::read_from_inner(input)?;
+        observe_open("read", started);
+        Ok(index)
+    }
+
+    fn read_from_inner<R: Read>(input: &mut R) -> Result<Self, PersistError> {
         let mut magic = [0u8; 8];
         input.read_exact(&mut magic)?;
         if magic != MAGIC {
@@ -258,6 +265,13 @@ impl UsiIndex {
     /// The only load-time allocation proportional to the corpus is the
     /// `PSW` prefix-sum array, which the format does not store.
     pub fn from_storage(storage: Arc<IndexStorage>) -> Result<Self, PersistError> {
+        let started = std::time::Instant::now();
+        let index = Self::from_storage_inner(storage)?;
+        observe_open("mmap", started);
+        Ok(index)
+    }
+
+    fn from_storage_inner(storage: Arc<IndexStorage>) -> Result<Self, PersistError> {
         let bytes = storage.bytes();
         if bytes.len() < 8 || bytes[..8] != MAGIC {
             return Err(PersistError::BadMagic);
@@ -384,6 +398,21 @@ impl UsiIndex {
 /// is unwanted.
 pub fn open_mmap(path: &Path) -> Result<UsiIndex, PersistError> {
     UsiIndex::open_mmap(path)
+}
+
+/// Records one successful index open in
+/// `usi_index_open_seconds{mode}` — a cold path, so the registry
+/// lookup per open is fine.
+fn observe_open(mode: &str, started: std::time::Instant) {
+    usi_obs::global()
+        .histogram_vec(
+            "usi_index_open_seconds",
+            "Time to load and validate a persisted index, by open mode",
+            &["mode"],
+            usi_obs::default_latency_buckets(),
+        )
+        .with(&[mode])
+        .observe_duration(started.elapsed());
 }
 
 #[cfg(test)]

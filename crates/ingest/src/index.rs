@@ -137,6 +137,7 @@ impl CompactionPlan {
     /// one index over them. Pure — touches no shared state, so the
     /// background compactor calls it without holding any lock.
     pub fn build(&self, builder: &UsiBuilder) -> UsiIndex {
+        let started = Instant::now();
         let total: usize = self.inputs.iter().map(|i| i.text().len()).sum();
         let mut text = Vec::with_capacity(total);
         let mut weights = Vec::with_capacity(total);
@@ -144,9 +145,20 @@ impl CompactionPlan {
             text.extend_from_slice(input.text());
             input.weights().extend_range_into(0..input.text().len(), &mut weights);
         }
-        builder.build(
+        let merged = builder.build(
             WeightedString::new(text, weights).expect("segment concatenation keeps the invariant"),
-        )
+        );
+        crate::metrics::ingest().compaction_seconds.observe_duration(started.elapsed());
+        usi_obs::tracer().record(usi_obs::Span::since(
+            "ingest.compaction",
+            started,
+            vec![
+                ("inputs".into(), self.inputs.len().to_string()),
+                ("letters".into(), total.to_string()),
+                ("generation".into(), self.generation.to_string()),
+            ],
+        ));
+        merged
     }
 }
 
@@ -317,7 +329,9 @@ impl IngestIndex {
         if self.tail_text.is_empty() {
             return;
         }
-        let offset = self.len() - self.tail_text.len();
+        let started = Instant::now();
+        let sealed_len = self.tail_text.len();
+        let offset = self.len() - sealed_len;
         let ws = WeightedString::new(
             std::mem::take(&mut self.tail_text),
             std::mem::take(&mut self.tail_weights),
@@ -326,6 +340,15 @@ impl IngestIndex {
         let index = self.remap_segment(self.segment_builder().build(ws), offset);
         self.segments.push(Segment { index: Arc::new(index), generation: 0 });
         self.seals += 1;
+        let m = crate::metrics::ingest();
+        m.seal_seconds.observe_duration(started.elapsed());
+        m.seals_total.inc();
+        m.segments.inc();
+        usi_obs::tracer().record(usi_obs::Span::since(
+            "ingest.seal",
+            started,
+            vec![("letters".into(), sealed_len.to_string())],
+        ));
     }
 
     /// The deterministic on-disk name of a segment covering
@@ -420,6 +443,9 @@ impl IngestIndex {
         );
         self.compactions += 1;
         self.last_compaction = Some(Instant::now());
+        let m = crate::metrics::ingest();
+        m.compactions_total.inc();
+        m.segments.add(1 - plan.inputs.len() as i64);
         true
     }
 

@@ -43,6 +43,7 @@
 //! ```
 
 pub mod index;
+pub(crate) mod metrics;
 pub mod pipeline;
 pub mod wal;
 

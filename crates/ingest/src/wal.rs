@@ -282,7 +282,10 @@ impl Wal {
         }
         let result = self.file.write_all(&batch).and_then(|()| {
             if self.sync {
-                self.file.sync_data()
+                let started = std::time::Instant::now();
+                let synced = self.file.sync_data();
+                crate::metrics::ingest().wal_fsync_seconds.observe_duration(started.elapsed());
+                synced
             } else {
                 Ok(())
             }
@@ -290,6 +293,9 @@ impl Wal {
         match result {
             Ok(()) => {
                 self.len += batch.len() as u64;
+                let m = crate::metrics::ingest();
+                m.wal_bytes_written_total.add(batch.len() as u64);
+                m.wal_appends_total.inc();
                 Ok(())
             }
             Err(e) => {

@@ -1,0 +1,69 @@
+//! `usi_obs` — operational telemetry for the serving stack: a
+//! process-global metrics registry with lock-free atomic instruments,
+//! a Prometheus text-format encoder, and a lightweight structured-event
+//! tracer.
+//!
+//! Like the rest of the workspace the crate is **std-only** (no
+//! registry access in the build environment), which shapes the design:
+//!
+//! * [`Counter`] and [`Gauge`] are single atomics; [`Histogram`] is a
+//!   fixed set of buckets with one atomic per bucket plus an atomic
+//!   `f64`-bits sum and a count — every observation is a handful of
+//!   relaxed atomic ops, no locks, no allocation.
+//! * Labels are supported through *vec* families ([`CounterVec`],
+//!   [`GaugeVec`], [`HistogramVec`]): a label set is resolved to a
+//!   shared handle **once** (allocating only on first registration),
+//!   and hot paths hold the handle — observations never take the
+//!   family lock.
+//! * [`Registry::encode`] renders the whole registry in the Prometheus
+//!   text exposition format (`# HELP` / `# TYPE`, `_bucket{le=…}` /
+//!   `_sum` / `_count` for histograms), so any standard scraper can
+//!   consume `GET /metrics` unchanged.
+//! * [`set_enabled`] is a process-wide kill switch: observations
+//!   short-circuit while it is off (encoding still serves the frozen
+//!   values) — the operational escape hatch, and how the
+//!   `metrics_overhead` bench isolates instrumentation cost.
+//! * [`Tracer`] keeps a bounded ring of recent [`Span`]s
+//!   (name, start, duration, free-form fields) drained via an endpoint
+//!   (`GET /v1/trace`) instead of pulling in a logging framework.
+//!
+//! The process-global entry points are [`global()`] (the registry every
+//! crate in the workspace registers into), [`tracer()`] and
+//! [`process_start()`] (the uptime epoch, pinned on first touch).
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{
+    default_latency_buckets, enabled, exponential_buckets, linear_buckets, set_enabled, Counter,
+    CounterVec, Gauge, GaugeVec, Histogram, HistogramVec, Registry,
+};
+pub use trace::{Span, Tracer};
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// The process-global registry. Every crate in the workspace registers
+/// its instruments here; `GET /metrics` encodes it.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// The process-global span tracer behind `GET /v1/trace`.
+pub fn tracer() -> &'static Tracer {
+    static TRACER: OnceLock<Tracer> = OnceLock::new();
+    TRACER.get_or_init(|| Tracer::new(Tracer::DEFAULT_CAPACITY))
+}
+
+/// The uptime epoch: pinned the first time anything asks (the server
+/// touches it at startup, so `/healthz` uptime measures serving time).
+pub fn process_start() -> Instant {
+    static START: OnceLock<Instant> = OnceLock::new();
+    *START.get_or_init(Instant::now)
+}
+
+/// Seconds since [`process_start`], whole seconds.
+pub fn uptime_seconds() -> u64 {
+    process_start().elapsed().as_secs()
+}

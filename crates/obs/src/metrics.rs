@@ -1,0 +1,719 @@
+//! The metrics registry and its instruments.
+//!
+//! Three instrument kinds, all observation paths lock-free:
+//!
+//! * [`Counter`] — a monotonically increasing `AtomicU64`;
+//! * [`Gauge`] — a signed `AtomicI64` that can move both ways;
+//! * [`Histogram`] — fixed upper bounds chosen at registration
+//!   (log-spaced for latencies, see [`exponential_buckets`]), one
+//!   atomic count per bucket plus an atomic `f64`-bits sum and a total
+//!   count, so averages and Prometheus quantile estimation both work.
+//!
+//! Labels: a *vec* family ([`CounterVec`], [`GaugeVec`],
+//! [`HistogramVec`]) maps a label-value tuple to a shared instrument
+//! handle. Resolving a tuple ([`CounterVec::with`]) takes the family
+//! lock and allocates **only the first time that tuple is seen**;
+//! callers on hot paths resolve once and keep the `Arc` handle, so an
+//! observation is never more than a few relaxed atomic ops.
+//!
+//! Registration is idempotent: re-registering a name returns the
+//! existing family (handles from both call sites observe the same
+//! series), and mismatched kinds panic — that is a programming error,
+//! not a runtime condition.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Process-wide kill switch: when off, every observation (counter add,
+/// gauge move, histogram observe, span record) short-circuits to one
+/// relaxed load. Registration and encoding still work — `/metrics`
+/// serves the frozen values. The operational escape hatch when
+/// telemetry itself is under suspicion, and the control variable the
+/// `metrics_overhead` bench flips to measure the instrumented-vs-not
+/// delta on an otherwise identical code path.
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Turns all observation globally on or off (default: on).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether observations are currently recorded.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        if !enabled() {
+            return;
+        }
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that goes up and down.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Decrements by one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        if !enabled() {
+            return;
+        }
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Sets the value outright.
+    pub fn set(&self, v: i64) {
+        if !enabled() {
+            return;
+        }
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram: per-bucket atomic counts plus sum and
+/// count. Bucket semantics follow Prometheus: an observation `v` lands
+/// in the first bucket whose upper bound satisfies `v <= le`
+/// (inclusive), or the implicit `+Inf` bucket past the last bound.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Strictly increasing upper bounds; the `+Inf` bucket is implicit.
+    bounds: Box<[f64]>,
+    /// One count per bound, plus the `+Inf` bucket at the end.
+    /// **Not** cumulative in memory; the encoder accumulates.
+    buckets: Box<[AtomicU64]>,
+    /// Sum of all observations, stored as `f64` bits (CAS-updated).
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let buckets = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            bounds: bounds.into(),
+            buckets,
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        if !enabled() {
+            return;
+        }
+        // bounds are few (≲ 20): a linear scan beats binary search and
+        // never branches unpredictably for the common low buckets
+        let idx = self.bounds.iter().position(|&b| v <= b).unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                new,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Records a duration in **seconds** (the Prometheus base unit).
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// The configured upper bounds (without the implicit `+Inf`).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Cumulative count of observations `<=` each bound, then `+Inf`
+    /// last — exactly the series `_bucket{le=…}` exposes.
+    pub fn cumulative_buckets(&self) -> Vec<u64> {
+        let mut total = 0u64;
+        self.buckets
+            .iter()
+            .map(|b| {
+                total += b.load(Ordering::Relaxed);
+                total
+            })
+            .collect()
+    }
+}
+
+/// `count` log-spaced bounds: `start, start·factor, start·factor², …` —
+/// the standard shape for latency histograms (constant relative error).
+///
+/// # Panics
+/// Panics unless `start > 0`, `factor > 1` and `count >= 1`.
+pub fn exponential_buckets(start: f64, factor: f64, count: usize) -> Vec<f64> {
+    assert!(start > 0.0 && factor > 1.0 && count >= 1, "bad exponential bucket spec");
+    let mut bounds = Vec::with_capacity(count);
+    let mut b = start;
+    for _ in 0..count {
+        bounds.push(b);
+        b *= factor;
+    }
+    bounds
+}
+
+/// `count` evenly spaced bounds starting at `start` — for sizes and
+/// widths rather than latencies.
+///
+/// # Panics
+/// Panics unless `width > 0` and `count >= 1`.
+pub fn linear_buckets(start: f64, width: f64, count: usize) -> Vec<f64> {
+    assert!(width > 0.0 && count >= 1, "bad linear bucket spec");
+    (0..count).map(|i| start + width * i as f64).collect()
+}
+
+/// The default latency bounds used across the stack: 100 µs … ~26 s,
+/// doubling — 18 buckets plus `+Inf`.
+pub fn default_latency_buckets() -> Vec<f64> {
+    exponential_buckets(0.000_1, 2.0, 18)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn type_name(self) -> &'static str {
+        match self {
+            Self::Counter => "counter",
+            Self::Gauge => "gauge",
+            Self::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// One metric family: a name, a kind, label names, and one instrument
+/// per label-value tuple (a single anonymous tuple when unlabeled).
+#[derive(Debug)]
+struct Family {
+    name: String,
+    help: String,
+    kind: Kind,
+    label_names: Vec<String>,
+    /// Histogram families share one bucket layout.
+    buckets: Vec<f64>,
+    children: Mutex<Vec<(Vec<String>, Instrument)>>,
+}
+
+impl Family {
+    /// Returns the child for `values`, creating it on first sight.
+    /// Lookup compares `&str`s in place — no allocation on the hit
+    /// path; the miss path allocates once per distinct tuple, ever.
+    fn child(&self, values: &[&str]) -> Instrument {
+        assert_eq!(
+            values.len(),
+            self.label_names.len(),
+            "{}: {} label values for {} label names",
+            self.name,
+            values.len(),
+            self.label_names.len()
+        );
+        let mut children = self.children.lock().expect("metric family lock poisoned");
+        if let Some((_, instrument)) = children
+            .iter()
+            .find(|(have, _)| have.iter().map(String::as_str).eq(values.iter().copied()))
+        {
+            return clone_instrument(instrument);
+        }
+        let instrument = match self.kind {
+            Kind::Counter => Instrument::Counter(Arc::new(Counter::default())),
+            Kind::Gauge => Instrument::Gauge(Arc::new(Gauge::default())),
+            Kind::Histogram => Instrument::Histogram(Arc::new(Histogram::new(&self.buckets))),
+        };
+        children
+            .push((values.iter().map(|&v| v.to_string()).collect(), clone_instrument(&instrument)));
+        instrument
+    }
+}
+
+fn clone_instrument(i: &Instrument) -> Instrument {
+    match i {
+        Instrument::Counter(c) => Instrument::Counter(Arc::clone(c)),
+        Instrument::Gauge(g) => Instrument::Gauge(Arc::clone(g)),
+        Instrument::Histogram(h) => Instrument::Histogram(Arc::clone(h)),
+    }
+}
+
+/// A labeled counter family; see [`Registry::counter_vec`].
+#[derive(Debug, Clone)]
+pub struct CounterVec {
+    family: Arc<Family>,
+}
+
+impl CounterVec {
+    /// The counter for this label-value tuple (created on first use).
+    pub fn with(&self, values: &[&str]) -> Arc<Counter> {
+        match self.family.child(values) {
+            Instrument::Counter(c) => c,
+            _ => unreachable!("counter family holds counters"),
+        }
+    }
+}
+
+/// A labeled gauge family; see [`Registry::gauge_vec`].
+#[derive(Debug, Clone)]
+pub struct GaugeVec {
+    family: Arc<Family>,
+}
+
+impl GaugeVec {
+    /// The gauge for this label-value tuple (created on first use).
+    pub fn with(&self, values: &[&str]) -> Arc<Gauge> {
+        match self.family.child(values) {
+            Instrument::Gauge(g) => g,
+            _ => unreachable!("gauge family holds gauges"),
+        }
+    }
+}
+
+/// A labeled histogram family; see [`Registry::histogram_vec`].
+#[derive(Debug, Clone)]
+pub struct HistogramVec {
+    family: Arc<Family>,
+}
+
+impl HistogramVec {
+    /// The histogram for this label-value tuple (created on first use).
+    pub fn with(&self, values: &[&str]) -> Arc<Histogram> {
+        match self.family.child(values) {
+            Instrument::Histogram(h) => h,
+            _ => unreachable!("histogram family holds histograms"),
+        }
+    }
+}
+
+/// A metrics registry: registration, handle lookup and text-format
+/// encoding. The process-global instance is [`crate::global()`]; tests
+/// can build private ones.
+#[derive(Debug, Default)]
+pub struct Registry {
+    families: Mutex<Vec<Arc<Family>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn family(
+        &self,
+        name: &str,
+        help: &str,
+        kind: Kind,
+        label_names: &[&str],
+        buckets: Vec<f64>,
+    ) -> Arc<Family> {
+        let mut families = self.families.lock().expect("registry lock poisoned");
+        if let Some(family) = families.iter().find(|f| f.name == name) {
+            assert_eq!(
+                family.kind,
+                kind,
+                "metric {name} re-registered as a {} (was a {})",
+                kind.type_name(),
+                family.kind.type_name()
+            );
+            assert!(
+                family.label_names.iter().map(String::as_str).eq(label_names.iter().copied()),
+                "metric {name} re-registered with different label names"
+            );
+            return Arc::clone(family);
+        }
+        let family = Arc::new(Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind,
+            label_names: label_names.iter().map(|&l| l.to_string()).collect(),
+            buckets,
+            children: Mutex::new(Vec::new()),
+        });
+        families.push(Arc::clone(&family));
+        family
+    }
+
+    /// Registers (or retrieves) an unlabeled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        match self.family(name, help, Kind::Counter, &[], Vec::new()).child(&[]) {
+            Instrument::Counter(c) => c,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Registers (or retrieves) an unlabeled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        match self.family(name, help, Kind::Gauge, &[], Vec::new()).child(&[]) {
+            Instrument::Gauge(g) => g,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Registers (or retrieves) an unlabeled histogram with the given
+    /// upper bounds (`+Inf` implicit).
+    pub fn histogram(&self, name: &str, help: &str, buckets: Vec<f64>) -> Arc<Histogram> {
+        match self.family(name, help, Kind::Histogram, &[], buckets).child(&[]) {
+            Instrument::Histogram(h) => h,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Registers (or retrieves) a labeled counter family.
+    pub fn counter_vec(&self, name: &str, help: &str, label_names: &[&str]) -> CounterVec {
+        CounterVec { family: self.family(name, help, Kind::Counter, label_names, Vec::new()) }
+    }
+
+    /// Registers (or retrieves) a labeled gauge family.
+    pub fn gauge_vec(&self, name: &str, help: &str, label_names: &[&str]) -> GaugeVec {
+        GaugeVec { family: self.family(name, help, Kind::Gauge, label_names, Vec::new()) }
+    }
+
+    /// Registers (or retrieves) a labeled histogram family; every child
+    /// shares the bucket layout.
+    pub fn histogram_vec(
+        &self,
+        name: &str,
+        help: &str,
+        label_names: &[&str],
+        buckets: Vec<f64>,
+    ) -> HistogramVec {
+        HistogramVec { family: self.family(name, help, Kind::Histogram, label_names, buckets) }
+    }
+
+    /// Encodes every family in the Prometheus text exposition format
+    /// (version 0.0.4): `# HELP` and `# TYPE` per family, one sample
+    /// line per child (label values sorted, so output is deterministic
+    /// for a given set of observations).
+    pub fn encode(&self) -> String {
+        let families: Vec<Arc<Family>> =
+            self.families.lock().expect("registry lock poisoned").clone();
+        let mut out = String::new();
+        for family in families {
+            out.push_str("# HELP ");
+            out.push_str(&family.name);
+            out.push(' ');
+            out.push_str(&family.help);
+            out.push('\n');
+            out.push_str("# TYPE ");
+            out.push_str(&family.name);
+            out.push(' ');
+            out.push_str(family.kind.type_name());
+            out.push('\n');
+            let mut children: Vec<(Vec<String>, Instrument)> = {
+                let guard = family.children.lock().expect("metric family lock poisoned");
+                guard.iter().map(|(v, i)| (v.clone(), clone_instrument(i))).collect()
+            };
+            children.sort_by(|a, b| a.0.cmp(&b.0));
+            for (values, instrument) in &children {
+                match instrument {
+                    Instrument::Counter(c) => {
+                        sample_line(&mut out, &family.name, "", &family.label_names, values, None);
+                        out.push_str(&format!(" {}\n", c.get()));
+                    }
+                    Instrument::Gauge(g) => {
+                        sample_line(&mut out, &family.name, "", &family.label_names, values, None);
+                        out.push_str(&format!(" {}\n", g.get()));
+                    }
+                    Instrument::Histogram(h) => {
+                        let cumulative = h.cumulative_buckets();
+                        for (i, &bound) in h.bounds().iter().enumerate() {
+                            sample_line(
+                                &mut out,
+                                &family.name,
+                                "_bucket",
+                                &family.label_names,
+                                values,
+                                Some(&format_f64(bound)),
+                            );
+                            out.push_str(&format!(" {}\n", cumulative[i]));
+                        }
+                        sample_line(
+                            &mut out,
+                            &family.name,
+                            "_bucket",
+                            &family.label_names,
+                            values,
+                            Some("+Inf"),
+                        );
+                        out.push_str(&format!(" {}\n", cumulative[h.bounds().len()]));
+                        sample_line(
+                            &mut out,
+                            &family.name,
+                            "_sum",
+                            &family.label_names,
+                            values,
+                            None,
+                        );
+                        out.push_str(&format!(" {}\n", format_f64(h.sum())));
+                        sample_line(
+                            &mut out,
+                            &family.name,
+                            "_count",
+                            &family.label_names,
+                            values,
+                            None,
+                        );
+                        out.push_str(&format!(" {}\n", h.count()));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Writes `name[suffix]{labels…}` (no trailing value) onto `out`.
+fn sample_line(
+    out: &mut String,
+    name: &str,
+    suffix: &str,
+    label_names: &[String],
+    values: &[String],
+    le: Option<&str>,
+) {
+    out.push_str(name);
+    out.push_str(suffix);
+    let mut pairs: Vec<(&str, &str)> =
+        label_names.iter().map(String::as_str).zip(values.iter().map(String::as_str)).collect();
+    let le_value;
+    if let Some(le) = le {
+        le_value = le;
+        pairs.push(("le", le_value));
+    }
+    if !pairs.is_empty() {
+        out.push('{');
+        for (i, (k, v)) in pairs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(&escape_label_value(v));
+            out.push('"');
+        }
+        out.push('}');
+    }
+}
+
+/// Escapes a label value per the exposition format: backslash, quote
+/// and newline.
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Formats an `f64` the way scrapers expect: integral values without a
+/// fraction, everything else via Rust's shortest round-trip display.
+fn format_f64(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_move() {
+        let registry = Registry::new();
+        let c = registry.counter("t_total", "help");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // idempotent registration returns the same underlying series
+        let again = registry.counter("t_total", "help");
+        again.inc();
+        assert_eq!(c.get(), 6);
+
+        let g = registry.gauge("t_gauge", "help");
+        g.inc();
+        g.add(10);
+        g.dec();
+        assert_eq!(g.get(), 10);
+        g.set(-3);
+        assert_eq!(g.get(), -3);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive() {
+        let registry = Registry::new();
+        let h = registry.histogram("t_seconds", "help", vec![1.0, 2.0, 4.0]);
+        // exactly at a bound lands in that bound's bucket (le is <=)
+        h.observe(1.0);
+        h.observe(2.0);
+        h.observe(4.0);
+        // strictly past the last bound lands in +Inf
+        h.observe(4.000001);
+        // below the first bound lands in the first bucket
+        h.observe(0.5);
+        assert_eq!(h.cumulative_buckets(), vec![2, 3, 4, 5]);
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 11.500001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucket_helpers() {
+        assert_eq!(exponential_buckets(1.0, 2.0, 4), vec![1.0, 2.0, 4.0, 8.0]);
+        assert_eq!(linear_buckets(0.0, 5.0, 3), vec![0.0, 5.0, 10.0]);
+        let latency = default_latency_buckets();
+        assert_eq!(latency.len(), 18);
+        assert!(latency.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_panic() {
+        Histogram::new(&[1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "re-registered")]
+    fn kind_mismatch_panics() {
+        let registry = Registry::new();
+        registry.counter("t_total", "help");
+        registry.gauge("t_total", "help");
+    }
+
+    #[test]
+    fn vec_families_reuse_handles_per_tuple() {
+        let registry = Registry::new();
+        let vec = registry.counter_vec("t_req_total", "help", &["route", "status"]);
+        let a = vec.with(&["/x", "200"]);
+        let b = vec.with(&["/x", "200"]);
+        let c = vec.with(&["/x", "404"]);
+        a.inc();
+        b.inc();
+        c.inc();
+        assert_eq!(a.get(), 2, "same tuple must resolve to the same counter");
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn encode_renders_prometheus_text() {
+        let registry = Registry::new();
+        let vec = registry.counter_vec("t_req_total", "requests served", &["route"]);
+        vec.with(&["/a\"b\\c\nd"]).add(3);
+        registry.gauge("t_open", "open connections").set(7);
+        let h = registry.histogram("t_lat_seconds", "latency", vec![0.1, 1.0]);
+        h.observe(0.05);
+        h.observe(0.5);
+        h.observe(5.0);
+        let text = registry.encode();
+        assert!(text.contains("# HELP t_req_total requests served\n"), "{text}");
+        assert!(text.contains("# TYPE t_req_total counter\n"), "{text}");
+        assert!(text.contains("t_req_total{route=\"/a\\\"b\\\\c\\nd\"} 3\n"), "{text}");
+        assert!(text.contains("t_open 7\n"), "{text}");
+        assert!(text.contains("t_lat_seconds_bucket{le=\"0.1\"} 1\n"), "{text}");
+        assert!(text.contains("t_lat_seconds_bucket{le=\"1\"} 2\n"), "{text}");
+        assert!(text.contains("t_lat_seconds_bucket{le=\"+Inf\"} 3\n"), "{text}");
+        assert!(text.contains("t_lat_seconds_sum 5.55\n"), "{text}");
+        assert!(text.contains("t_lat_seconds_count 3\n"), "{text}");
+    }
+
+    #[test]
+    fn concurrent_observations_are_exact() {
+        let registry = Registry::new();
+        let counter = registry.counter("t_conc_total", "help");
+        let gauge = registry.gauge("t_conc_gauge", "help");
+        let histogram = registry.histogram("t_conc_seconds", "help", vec![8.0, 64.0, 512.0]);
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 10_000;
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let counter = &counter;
+                let gauge = &gauge;
+                let histogram = &histogram;
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        counter.inc();
+                        gauge.add(if i % 2 == 0 { 1 } else { -1 });
+                        // integral values: the CAS'd f64 sum is exact
+                        histogram.observe(((t * PER_THREAD + i) % 1024) as f64);
+                    }
+                });
+            }
+        });
+        let total = (THREADS * PER_THREAD) as u64;
+        assert_eq!(counter.get(), total);
+        assert_eq!(gauge.get(), 0);
+        assert_eq!(histogram.count(), total);
+        let expected_sum: f64 = (0..THREADS * PER_THREAD).map(|v| (v % 1024) as f64).sum();
+        assert_eq!(histogram.sum(), expected_sum, "CAS'd sum must not lose updates");
+        let cumulative = histogram.cumulative_buckets();
+        assert_eq!(*cumulative.last().unwrap(), total);
+        assert!(cumulative.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

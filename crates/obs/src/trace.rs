@@ -1,0 +1,160 @@
+//! A lightweight structured-event tracer: a bounded ring of recent
+//! [`Span`]s, drained via `GET /v1/trace` instead of a logging
+//! framework. Recording locks a `Mutex` around the ring — spans are
+//! per-request events (not per-query), so contention is negligible next
+//! to the I/O they describe.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One completed operation: a name, when it started (milliseconds since
+/// [`crate::process_start`]), how long it took, and free-form key/value
+/// fields (route, doc id, status, …).
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Operation name, e.g. `http.request` or `ingest.seal`.
+    pub name: String,
+    /// Start time in milliseconds since the process epoch.
+    pub start_ms: u64,
+    /// Duration in microseconds.
+    pub duration_us: u64,
+    /// Free-form context fields, in recording order.
+    pub fields: Vec<(String, String)>,
+}
+
+impl Span {
+    /// Builds a span from a start [`Instant`] captured with
+    /// [`Instant::now`] when the operation began; duration is measured
+    /// here, so call this at completion.
+    pub fn since(name: impl Into<String>, started: Instant, fields: Vec<(String, String)>) -> Self {
+        Self::with_duration(name, started, started.elapsed(), fields)
+    }
+
+    /// Builds a span from an explicit start and duration (when the
+    /// caller already measured, e.g. to reuse one `elapsed()` for both
+    /// a histogram and the trace).
+    pub fn with_duration(
+        name: impl Into<String>,
+        started: Instant,
+        duration: Duration,
+        fields: Vec<(String, String)>,
+    ) -> Self {
+        let start_ms = started.saturating_duration_since(crate::process_start()).as_millis() as u64;
+        Self { name: name.into(), start_ms, duration_us: duration.as_micros() as u64, fields }
+    }
+}
+
+/// A bounded ring of recent spans. When full, the oldest span is
+/// evicted and counted in [`Tracer::dropped`].
+#[derive(Debug)]
+pub struct Tracer {
+    capacity: usize,
+    ring: Mutex<VecDeque<Span>>,
+    dropped: AtomicU64,
+}
+
+impl Tracer {
+    /// Ring capacity of the process-global tracer ([`crate::tracer`]).
+    pub const DEFAULT_CAPACITY: usize = 256;
+
+    /// A tracer holding at most `capacity` spans (at least one).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            ring: Mutex::new(VecDeque::with_capacity(capacity.max(1))),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends a span, evicting the oldest if the ring is full.
+    /// A no-op while the global kill switch ([`crate::set_enabled`])
+    /// is off.
+    pub fn record(&self, span: Span) {
+        if !crate::enabled() {
+            return;
+        }
+        let mut ring = self.ring.lock().expect("tracer lock poisoned");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(span);
+    }
+
+    /// A non-destructive copy of the ring, oldest first — `GET
+    /// /v1/trace` serves this, so repeated scrapes see overlapping
+    /// windows rather than racing to drain.
+    pub fn snapshot(&self) -> Vec<Span> {
+        self.ring.lock().expect("tracer lock poisoned").iter().cloned().collect()
+    }
+
+    /// Empties the ring (tests).
+    pub fn clear(&self) {
+        self.ring.lock().expect("tracer lock poisoned").clear();
+    }
+
+    /// How many spans have been evicted unseen since startup.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &str) -> Span {
+        Span::with_duration(
+            name,
+            Instant::now(),
+            Duration::from_micros(42),
+            vec![("k".to_string(), "v".to_string())],
+        )
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_and_counts_drops() {
+        let tracer = Tracer::new(3);
+        for i in 0..5 {
+            tracer.record(span(&format!("s{i}")));
+        }
+        let spans = tracer.snapshot();
+        assert_eq!(
+            spans.iter().map(|s| s.name.as_str()).collect::<Vec<_>>(),
+            vec!["s2", "s3", "s4"]
+        );
+        assert_eq!(tracer.dropped(), 2);
+        // snapshot is non-destructive
+        assert_eq!(tracer.snapshot().len(), 3);
+        tracer.clear();
+        assert!(tracer.snapshot().is_empty());
+    }
+
+    #[test]
+    fn span_since_measures_duration() {
+        let started = Instant::now();
+        let s = Span::since("op", started, Vec::new());
+        assert_eq!(s.name, "op");
+        // duration is whatever elapsed — just check it's sane
+        assert!(s.duration_us < 5_000_000);
+    }
+
+    #[test]
+    fn concurrent_recording_never_exceeds_capacity() {
+        let tracer = Tracer::new(16);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let tracer = &tracer;
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        tracer.record(span(&format!("t{i}")));
+                    }
+                });
+            }
+        });
+        assert_eq!(tracer.snapshot().len(), 16);
+        assert_eq!(tracer.dropped(), 4 * 100 - 16);
+    }
+}

@@ -1,0 +1,47 @@
+//! The global kill switch, exercised in its own integration binary:
+//! `set_enabled` flips a process-wide flag, so this must not share a
+//! process with tests that assert exact observation counts.
+
+use std::time::{Duration, Instant};
+use usi_obs::{Registry, Span, Tracer};
+
+#[test]
+fn disabled_telemetry_drops_observations_and_recovers() {
+    let registry = Registry::new();
+    let counter = registry.counter("ks_counter", "a counter");
+    let gauge = registry.gauge("ks_gauge", "a gauge");
+    let histogram = registry.histogram("ks_histogram", "a histogram", vec![1.0, 2.0]);
+    let tracer = Tracer::new(4);
+
+    counter.inc();
+    gauge.set(7);
+    histogram.observe(1.5);
+    tracer.record(Span::with_duration("on", Instant::now(), Duration::ZERO, Vec::new()));
+
+    assert!(usi_obs::enabled());
+    usi_obs::set_enabled(false);
+    counter.add(100);
+    gauge.set(-3);
+    gauge.inc();
+    histogram.observe(0.5);
+    tracer.record(Span::with_duration("off", Instant::now(), Duration::ZERO, Vec::new()));
+
+    // nothing moved while disabled…
+    assert_eq!(counter.get(), 1);
+    assert_eq!(gauge.get(), 7);
+    assert_eq!(histogram.count(), 1);
+    assert_eq!(tracer.snapshot().len(), 1);
+
+    // …and encoding still serves the frozen values
+    let text = registry.encode();
+    assert!(text.contains("ks_counter 1"), "{text}");
+    assert!(text.contains("ks_gauge 7"), "{text}");
+
+    usi_obs::set_enabled(true);
+    counter.inc();
+    histogram.observe(0.5);
+    tracer.record(Span::with_duration("back", Instant::now(), Duration::ZERO, Vec::new()));
+    assert_eq!(counter.get(), 2);
+    assert_eq!(histogram.count(), 2);
+    assert_eq!(tracer.snapshot().last().map(|s| s.name.clone()).as_deref(), Some("back"));
+}

@@ -95,10 +95,14 @@ pub struct Doc {
     generation: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    /// `usi_doc_queries_total{doc=<id>}`, resolved once at registration
+    /// so the query path never touches the metric family lock.
+    queries_total: Arc<usi_obs::Counter>,
 }
 
 impl Doc {
     fn new(id: String, backend: Backend) -> Self {
+        let queries_total = crate::metrics::server().doc_queries.with(&[&id]);
         Self {
             id,
             backend,
@@ -106,6 +110,7 @@ impl Doc {
             generation: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            queries_total,
         }
     }
 
@@ -254,8 +259,16 @@ impl Doc {
                 }
             }
         }
-        self.cache_hits.fetch_add((patterns.len() - miss_at.len()) as u64, Ordering::Relaxed);
+        let hits = (patterns.len() - miss_at.len()) as u64;
+        self.cache_hits.fetch_add(hits, Ordering::Relaxed);
         self.cache_misses.fetch_add(miss_at.len() as u64, Ordering::Relaxed);
+        // global telemetry: pre-resolved handles, a few relaxed atomic
+        // adds per *batch* — the per-pattern cost stays amortised
+        let m = crate::metrics::server();
+        self.queries_total.add(patterns.len() as u64);
+        m.cache_hits_total.add(hits);
+        m.cache_misses_total.add(miss_at.len() as u64);
+        m.query_batch_size.observe(patterns.len() as f64);
         if !miss_at.is_empty() {
             let miss_patterns: Vec<&[u8]> = miss_at.iter().map(|&i| patterns[i]).collect();
             let computed = self.compute_batch(&miss_patterns, threads);
@@ -599,6 +612,7 @@ impl Catalog {
 
     fn fan_out_batch(&self, patterns: &[&[u8]], threads: usize) -> Vec<FanOut> {
         let docs = self.docs();
+        crate::metrics::server().fan_out_width.observe(docs.len() as f64);
         let threads = threads.max(1).min(docs.len().max(1));
         // per document: the raw accumulators for every pattern
         let per_doc: Vec<Vec<(UtilityAccumulator, QuerySource)>> = if threads == 1 {

@@ -32,14 +32,16 @@
 
 use crate::catalog::{AppendError, Catalog};
 use crate::json::{fan_out_response_json, query_response_json, Json};
+use crate::metrics;
 use crate::pool::WorkerPool;
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use usi_ingest::IngestError;
+use usi_obs::Span;
 
 /// Longest accepted request head (request line + headers).
 const MAX_HEAD: usize = 16 * 1024;
@@ -49,6 +51,30 @@ const MAX_BODY: usize = 4 * 1024 * 1024;
 const MAX_PATTERNS: usize = 10_000;
 /// Write-side socket timeout (reads use the configured idle timeout).
 const SOCKET_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How (and whether) the server logs each request to stderr.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AccessLog {
+    /// No per-request logging (the default).
+    #[default]
+    Off,
+    /// One human-readable line per request.
+    Text,
+    /// One JSON object per request (machine-parseable stream).
+    Json,
+}
+
+impl AccessLog {
+    /// Parses a `--access-log` CLI value.
+    pub fn parse(value: &str) -> Option<Self> {
+        match value {
+            "off" => Some(Self::Off),
+            "text" => Some(Self::Text),
+            "json" => Some(Self::Json),
+            _ => None,
+        }
+    }
+}
 
 /// Server tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -69,6 +95,11 @@ pub struct ServerConfig {
     /// (`Connection: close` on the last response) — an upper bound on
     /// per-connection resource pinning under pipelining floods.
     pub max_requests_per_connection: usize,
+    /// Requests slower than this are logged to stderr (and counted in
+    /// `usi_http_slow_requests_total`); `None` disables the slow log.
+    pub slow_query_ms: Option<u64>,
+    /// Per-request access logging to stderr.
+    pub access_log: AccessLog,
 }
 
 impl Default for ServerConfig {
@@ -80,6 +111,8 @@ impl Default for ServerConfig {
             keep_alive: true,
             idle_timeout: Duration::from_secs(5),
             max_requests_per_connection: 1000,
+            slow_query_ms: None,
+            access_log: AccessLog::Off,
         }
     }
 }
@@ -148,6 +181,8 @@ pub fn serve(
     config: ServerConfig,
 ) -> io::Result<ServerHandle> {
     let addr = listener.local_addr()?;
+    // pin the uptime epoch: /healthz reports seconds of serving time
+    usi_obs::process_start();
     let stop = Arc::new(AtomicBool::new(false));
     let stop_flag = Arc::clone(&stop);
     let accept = std::thread::Builder::new().name("usi-accept".into()).spawn(move || {
@@ -167,6 +202,8 @@ pub fn serve(
             if stop_flag.load(Ordering::SeqCst) {
                 break; // the wake-up connection (or a race with it)
             }
+            // answers are single writes; never let Nagle hold one back
+            let _ = stream.set_nodelay(true);
             let catalog = Arc::clone(&catalog);
             pool.execute(move || handle_connection(stream, &catalog, config));
         }
@@ -180,26 +217,102 @@ pub fn serve(
 /// per-connection request budget. Bytes the client pipelined ahead of
 /// the current request stay in `buf` and feed the next iteration.
 fn handle_connection(mut stream: TcpStream, catalog: &Catalog, config: ServerConfig) {
+    let m = metrics::server();
+    m.connections_open.inc();
     let _ = stream.set_read_timeout(Some(config.idle_timeout.max(Duration::from_millis(1))));
     let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
     let mut buf = Vec::with_capacity(1024);
     let budget = config.max_requests_per_connection.max(1);
+    let mut served_total = 0u64;
     for served in 1..=budget {
-        let (response, close) = match read_request(&mut stream, &mut buf) {
+        // idle: between responses, waiting on the client's next request
+        m.connections_idle.inc();
+        let parsed = read_request(&mut stream, &mut buf);
+        m.connections_idle.dec();
+        let (response, close) = match parsed {
             Ok(request) => {
+                served_total += 1;
                 let close = request.close || !config.keep_alive || served == budget;
-                (route(catalog, &request, config.batch_threads), close)
+                m.requests_in_flight.inc();
+                let started = Instant::now();
+                let response = route(catalog, &request, config.batch_threads);
+                let elapsed = started.elapsed();
+                m.requests_in_flight.dec();
+                finish_request(&request, &response, elapsed, config);
+                (response, close)
             }
             // framing gone: answer if possible, then always close
-            Err(HttpError::TooLarge) => (error_response(413, "request too large"), true),
-            Err(HttpError::Bad(what)) => (error_response(400, what), true),
+            Err(HttpError::TooLarge) => {
+                m.observe_request("other", 413, 0.0);
+                (error_response(413, "request too large"), true)
+            }
+            Err(HttpError::Bad(what)) => {
+                m.observe_request("other", 400, 0.0);
+                (error_response(400, what), true)
+            }
             Err(HttpError::Io(_)) => break, // client went away or idled out
         };
         if write_response(&mut stream, &response, !close).is_err() || close {
             break;
         }
     }
+    if served_total > 0 {
+        m.requests_per_connection.observe(served_total as f64);
+    }
+    m.connections_open.dec();
     let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Post-request accounting: metrics, the span ring, the slow-request
+/// log and the access log. Runs once per routed request, off the
+/// response's critical path only in the sense that the response is
+/// already built — the cost is a few atomics plus (when enabled) one
+/// stderr line.
+fn finish_request(request: &Request, response: &Response, elapsed: Duration, config: ServerConfig) {
+    let m = metrics::server();
+    let route_label = metrics::route_label(&request.path);
+    let seconds = elapsed.as_secs_f64();
+    m.observe_request(route_label, response.status, seconds);
+    usi_obs::tracer().record(Span::with_duration(
+        "http.request",
+        Instant::now() - elapsed,
+        elapsed,
+        vec![
+            ("method".into(), request.method.clone()),
+            ("path".into(), request.path.clone()),
+            ("status".into(), response.status.to_string()),
+        ],
+    ));
+    let millis = elapsed.as_secs_f64() * 1e3;
+    if let Some(threshold) = config.slow_query_ms {
+        if millis >= threshold as f64 {
+            m.slow_requests_total.inc();
+            eprintln!(
+                "[slow] {} {} status={} duration_ms={millis:.3} threshold_ms={threshold}",
+                request.method, request.path, response.status
+            );
+        }
+    }
+    match config.access_log {
+        AccessLog::Off => {}
+        AccessLog::Text => eprintln!(
+            "{} {} status={} bytes={} duration_ms={millis:.3}",
+            request.method,
+            request.path,
+            response.status,
+            response.body.len()
+        ),
+        AccessLog::Json => {
+            let line = Json::Obj(vec![
+                ("method".into(), Json::str(&request.method)),
+                ("path".into(), Json::str(&request.path)),
+                ("status".into(), Json::Num(f64::from(response.status))),
+                ("bytes".into(), Json::Num(response.body.len() as f64)),
+                ("duration_ms".into(), Json::Num(millis)),
+            ]);
+            eprintln!("{}", line.encode());
+        }
+    }
 }
 
 /// A parsed request: exactly what the router needs.
@@ -351,12 +464,15 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-/// A response about to be written: status + JSON body.
+/// A response about to be written: status, content type and body.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// JSON body.
+    /// `Content-Type` header value. Everything the API serves is JSON
+    /// except `GET /metrics`, which is Prometheus text.
+    pub content_type: &'static str,
+    /// Response body.
     pub body: String,
 }
 
@@ -376,25 +492,48 @@ fn reason(status: u16) -> &'static str {
 /// request loop. Connection lifetime is transport state, not part of
 /// [`Response`]: `respond()` consumers and tests deal in status + body
 /// only.
+///
+/// Head and body go out in **one** write: split across two segments,
+/// Nagle on the server side would hold the body until the client ACKs
+/// the head — a ~40 ms delayed-ACK stall per keep-alive exchange (the
+/// `metrics_overhead` bench caught exactly this).
 fn write_response<W: Write>(w: &mut W, response: &Response, keep_alive: bool) -> io::Result<()> {
+    let mut out = Vec::with_capacity(128 + response.body.len());
     write!(
-        w,
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        out,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
         response.status,
         reason(response.status),
+        response.content_type,
         response.body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     )?;
-    w.write_all(response.body.as_bytes())?;
+    out.extend_from_slice(response.body.as_bytes());
+    w.write_all(&out)?;
     w.flush()
 }
 
+/// The content type of every JSON response.
+const APPLICATION_JSON: &str = "application/json";
+/// The Prometheus text exposition content type served by `/metrics`.
+const PROMETHEUS_TEXT: &str = "text/plain; version=0.0.4";
+
 fn ok(body: Json) -> Response {
-    Response { status: 200, body: body.encode() }
+    Response { status: 200, content_type: APPLICATION_JSON, body: body.encode() }
 }
 
+/// Every error the API produces goes through here, so all error bodies
+/// share one JSON shape: `{"error":"…","status":N}`.
 fn error_response(status: u16, message: &str) -> Response {
-    Response { status, body: Json::Obj(vec![("error".into(), Json::str(message))]).encode() }
+    Response {
+        status,
+        content_type: APPLICATION_JSON,
+        body: Json::Obj(vec![
+            ("error".into(), Json::str(message)),
+            ("status".into(), Json::Num(f64::from(status))),
+        ])
+        .encode(),
+    }
 }
 
 /// Routes one parsed request against the catalog. Public so tests (and
@@ -408,10 +547,13 @@ pub fn respond(catalog: &Catalog, method: &str, path: &str, body: &[u8]) -> Resp
 fn route(catalog: &Catalog, request: &Request, batch_threads: usize) -> Response {
     let path = request.path.as_str();
     match (request.method.as_str(), path) {
-        ("GET", "/healthz") => ok(Json::Obj(vec![
-            ("status".into(), Json::str("ok")),
-            ("docs".into(), Json::Num(catalog.len() as f64)),
-        ])),
+        ("GET", "/healthz") => healthz(catalog),
+        ("GET", "/metrics") => Response {
+            status: 200,
+            content_type: PROMETHEUS_TEXT,
+            body: usi_obs::global().encode(),
+        },
+        ("GET", "/v1/trace") => trace_snapshot(),
         ("GET", "/v1/docs") => list_docs(catalog),
         ("POST", "/v1/query") => query(catalog, &request.body, batch_threads),
         ("GET", _) if doc_sub_id(path, "stats").is_some() => {
@@ -422,12 +564,49 @@ fn route(catalog: &Catalog, request: &Request, batch_threads: usize) -> Response
             doc_sub_id(path, "append").expect("checked by guard"),
             &request.body,
         ),
-        (_, "/healthz" | "/v1/docs" | "/v1/query") => error_response(405, "method not allowed"),
+        (_, "/healthz" | "/v1/docs" | "/v1/query" | "/metrics" | "/v1/trace") => {
+            error_response(405, "method not allowed")
+        }
         (_, _) if doc_sub_id(path, "stats").is_some() || doc_sub_id(path, "append").is_some() => {
             error_response(405, "method not allowed")
         }
         _ => error_response(404, "no such route"),
     }
+}
+
+/// Liveness plus cheap readiness facts. `status` and `docs` stay the
+/// leading members: old probes matching on `"status":"ok"` (and the CI
+/// greps on `"docs":N`) keep working unchanged.
+fn healthz(catalog: &Catalog) -> Response {
+    ok(Json::Obj(vec![
+        ("status".into(), Json::str("ok")),
+        ("docs".into(), Json::Num(catalog.len() as f64)),
+        ("version".into(), Json::str(env!("CARGO_PKG_VERSION"))),
+        ("uptime_seconds".into(), Json::Num(usi_obs::uptime_seconds() as f64)),
+    ]))
+}
+
+/// The span ring as JSON, oldest first (non-destructive snapshot).
+fn trace_snapshot() -> Response {
+    let tracer = usi_obs::tracer();
+    let spans = tracer
+        .snapshot()
+        .into_iter()
+        .map(|span| {
+            let fields =
+                span.fields.into_iter().map(|(k, v)| (k, Json::Str(v))).collect::<Vec<_>>();
+            Json::Obj(vec![
+                ("name".into(), Json::Str(span.name)),
+                ("start_ms".into(), Json::Num(span.start_ms as f64)),
+                ("duration_us".into(), Json::Num(span.duration_us as f64)),
+                ("fields".into(), Json::Obj(fields)),
+            ])
+        })
+        .collect();
+    ok(Json::Obj(vec![
+        ("spans".into(), Json::Arr(spans)),
+        ("dropped".into(), Json::Num(tracer.dropped() as f64)),
+    ]))
 }
 
 /// Parses `/v1/docs/{id}/{action}` into `{id}`.
@@ -439,6 +618,11 @@ fn doc_sub_id<'p>(path: &'p str, action: &str) -> Option<&'p str> {
     } else {
         Some(id)
     }
+}
+
+/// Whether `path` is a `/v1/docs/{id}/{action}` route (metric labels).
+pub(crate) fn doc_sub_route(path: &str, action: &str) -> bool {
+    doc_sub_id(path, action).is_some()
 }
 
 fn list_docs(catalog: &Catalog) -> Response {
@@ -731,7 +915,14 @@ mod tests {
         let catalog = catalog();
         let r = respond(&catalog, "GET", "/healthz", b"");
         assert_eq!(r.status, 200);
-        assert_eq!(r.body, r#"{"status":"ok","docs":1}"#);
+        assert_eq!(r.content_type, APPLICATION_JSON);
+        let parsed = Json::parse(&r.body).unwrap();
+        assert_eq!(parsed.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(parsed.get("docs").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(parsed.get("version").and_then(Json::as_str), Some(env!("CARGO_PKG_VERSION")));
+        assert!(parsed.get("uptime_seconds").and_then(Json::as_f64).is_some());
+        // the legacy probe contract: status and docs lead the body
+        assert!(r.body.starts_with(r#"{"status":"ok","docs":1"#), "{}", r.body);
 
         let r = respond(&catalog, "GET", "/v1/docs", b"");
         assert_eq!(r.status, 200);
@@ -875,19 +1066,70 @@ mod tests {
     }
 
     #[test]
+    fn metrics_and_trace_endpoints() {
+        let catalog = catalog();
+        // drive a query so the catalog-level series exist
+        let r = respond(&catalog, "POST", "/v1/query", br#"{"doc":"abra","patterns":["abra"]}"#);
+        assert_eq!(r.status, 200);
+
+        let r = respond(&catalog, "GET", "/metrics", b"");
+        assert_eq!(r.status, 200);
+        assert_eq!(r.content_type, PROMETHEUS_TEXT);
+        assert!(r.body.contains("# TYPE usi_doc_queries_total counter"), "{}", r.body);
+        assert!(r.body.contains(r#"usi_doc_queries_total{doc="abra"}"#), "{}", r.body);
+        assert!(r.body.contains("# TYPE usi_query_batch_size histogram"), "{}", r.body);
+        assert!(r.body.contains("usi_cache_misses_total"), "{}", r.body);
+
+        let r = respond(&catalog, "GET", "/v1/trace", b"");
+        assert_eq!(r.status, 200);
+        let parsed = Json::parse(&r.body).unwrap();
+        assert!(parsed.get("spans").and_then(Json::as_array).is_some());
+        assert!(parsed.get("dropped").and_then(Json::as_f64).is_some());
+
+        assert_eq!(respond(&catalog, "POST", "/metrics", b"").status, 405);
+        assert_eq!(respond(&catalog, "DELETE", "/v1/trace", b"").status, 405);
+    }
+
+    #[test]
+    fn error_bodies_share_one_json_shape() {
+        let catalog = catalog();
+        let errors = [
+            respond(&catalog, "GET", "/nope", b""),
+            respond(&catalog, "PUT", "/healthz", b""),
+            respond(&catalog, "POST", "/v1/query", b"not json"),
+            respond(&catalog, "POST", "/v1/docs/abra/append", br#"{"text":"x"}"#),
+            respond(&catalog, "POST", "/v1/query", br#"{"doc":"gone","patterns":["a"]}"#),
+        ];
+        for r in errors {
+            assert!(r.status >= 400, "{r:?}");
+            assert_eq!(r.content_type, APPLICATION_JSON, "{r:?}");
+            let parsed = Json::parse(&r.body).unwrap_or_else(|e| panic!("{e}: {}", r.body));
+            assert!(parsed.get("error").and_then(Json::as_str).is_some(), "{}", r.body);
+            assert_eq!(
+                parsed.get("status").and_then(Json::as_f64),
+                Some(f64::from(r.status)),
+                "{}",
+                r.body
+            );
+        }
+    }
+
+    #[test]
     fn responses_are_well_formed_http() {
         // the connection header is transport state the request loop
         // decides per response — not part of Response formatting
         let mut out = Vec::new();
-        write_response(&mut out, &Response { status: 200, body: "{}".into() }, false).unwrap();
+        let response = Response { status: 200, content_type: APPLICATION_JSON, body: "{}".into() };
+        write_response(&mut out, &response, false).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Type: application/json\r\n"));
         assert!(text.contains("Content-Length: 2\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
 
         let mut out = Vec::new();
-        write_response(&mut out, &Response { status: 200, body: "{}".into() }, true).unwrap();
+        write_response(&mut out, &response, true).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("Connection: keep-alive\r\n"));
     }
@@ -910,7 +1152,7 @@ mod tests {
         let response =
             fetch(format!("GET /healthz HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"));
         assert!(response.starts_with("HTTP/1.1 200"));
-        assert!(response.ends_with(r#"{"status":"ok","docs":1}"#));
+        assert!(response.contains(r#"{"status":"ok","docs":1"#), "{response}");
 
         let body = r#"{"doc":"abra","patterns":["abra"]}"#;
         let response = fetch(format!(
@@ -969,7 +1211,7 @@ mod tests {
             let (head, body) = read_one_response(&mut stream);
             assert!(head.starts_with("HTTP/1.1 200"), "round {round}: {head}");
             assert!(head.contains("Connection: keep-alive"), "round {round}: {head}");
-            assert_eq!(body, r#"{"status":"ok","docs":1}"#, "round {round}");
+            assert!(body.starts_with(r#"{"status":"ok","docs":1"#), "round {round}: {body}");
         }
         // asking to close gets a close header and a closed socket
         stream

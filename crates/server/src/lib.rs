@@ -33,9 +33,10 @@
 pub mod catalog;
 pub mod http;
 pub mod json;
+pub(crate) mod metrics;
 pub mod pool;
 
 pub use catalog::{AppendError, Catalog, CatalogError, Doc, FanOut, LoadOptions};
-pub use http::{respond, serve, Response, ServerConfig, ServerHandle};
+pub use http::{respond, serve, AccessLog, Response, ServerConfig, ServerHandle};
 pub use json::{Json, JsonError};
 pub use pool::WorkerPool;

@@ -6,7 +6,14 @@
 //! worker drains the jobs already queued and exits when the channel
 //! disconnects, and `Drop` joins them — so no in-flight request is cut
 //! off mid-response.
+//!
+//! The pool is the serving path's saturation point, so it exports the
+//! gauges capacity planning needs: `usi_pool_queue_depth` (submitted,
+//! not yet picked up), `usi_pool_jobs_in_flight`, and
+//! `usi_pool_saturation_total` (jobs submitted while every worker was
+//! busy — each one waited).
 
+use crate::metrics;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -45,13 +52,22 @@ impl WorkerPool {
     /// after shutdown began are silently dropped.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
         if let Some(sender) = &self.sender {
+            let m = metrics::server();
+            m.pool_jobs_total.inc();
+            if m.pool_in_flight.get() >= self.workers.len() as i64 {
+                m.pool_saturation_total.inc();
+            }
+            m.pool_queue_depth.inc();
             // send only fails when every worker is gone (shutdown race)
-            let _ = sender.send(Box::new(job));
+            if sender.send(Box::new(job)).is_err() {
+                m.pool_queue_depth.dec();
+            }
         }
     }
 }
 
 fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
+    let m = metrics::server();
     loop {
         // hold the lock only to pull the next job, not to run it
         let job = match receiver.lock() {
@@ -59,7 +75,12 @@ fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
             Err(_) => return,
         };
         match job {
-            Ok(job) => job(),
+            Ok(job) => {
+                m.pool_queue_depth.dec();
+                m.pool_in_flight.inc();
+                job();
+                m.pool_in_flight.dec();
+            }
             Err(_) => return, // channel disconnected: shutdown
         }
     }

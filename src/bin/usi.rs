@@ -12,6 +12,7 @@
 //! usi serve <dir-or-.usix>… [--addr HOST:PORT] [--workers N] [--shards N]
 //!           [--mmap] [--ingest-wal DIR] [--seal-threshold N]
 //!           [--compact-fanout F] [--segment-dir DIR]
+//!           [--slow-query-ms N] [--access-log off|text|json]
 //! usi ingest <base.usix> --wal PATH [--seal-threshold N] [--compact-fanout F]
 //!           [--threads N] [--weight W] [--no-sync] [--mmap]
 //!           [--segment-dir DIR] [--json] [--replay [--query P]…]
@@ -305,6 +306,16 @@ fn cmd_serve(args: &Args) {
     let workers: usize =
         args.flag("workers").map_or(4, |s| s.parse().unwrap_or_else(|_| die("bad --workers")));
     let addr = args.flag("addr").unwrap_or("127.0.0.1:7878");
+    // observability knobs: requests slower than the threshold are logged
+    // to stderr (and counted in usi_http_slow_requests_total); the access
+    // log mirrors every request in text or JSON
+    let slow_query_ms: Option<u64> = args
+        .flag("slow-query-ms")
+        .map(|s| s.parse().unwrap_or_else(|_| die("bad --slow-query-ms")));
+    let access_log = args.flag("access-log").map_or(usi::server::AccessLog::Off, |s| {
+        usi::server::AccessLog::parse(s)
+            .unwrap_or_else(|| die("bad --access-log (expected off, text or json)"))
+    });
     let ingest_wal = args.flag("ingest-wal").map(std::path::PathBuf::from);
     let load_opts = usi::server::LoadOptions { mmap: args.has("mmap"), threads: 0 };
 
@@ -373,9 +384,9 @@ fn cmd_serve(args: &Args) {
 
     let listener =
         TcpListener::bind(addr).unwrap_or_else(|e| die(&format!("cannot bind {addr}: {e}")));
-    let handle =
-        usi::server::serve(Arc::clone(&catalog), listener, ServerConfig::with_workers(workers))
-            .unwrap_or_else(|e| die(&format!("cannot start server: {e}")));
+    let config = ServerConfig { slow_query_ms, access_log, ..ServerConfig::with_workers(workers) };
+    let handle = usi::server::serve(Arc::clone(&catalog), listener, config)
+        .unwrap_or_else(|e| die(&format!("cannot start server: {e}")));
     eprintln!(
         "serving {} doc(s) on http://{} with {workers} worker(s); stdin EOF or SIGINT stops",
         catalog.len(),

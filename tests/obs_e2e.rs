@@ -1,0 +1,209 @@
+//! End-to-end exercise of the observability surface: real HTTP traffic
+//! (queries, appends, an error) against a live server, then `/metrics`
+//! must expose the Prometheus series the dashboards are built on —
+//! request-latency histograms, pool queue depth, cache hit/miss
+//! counters, WAL fsync latency — and `/v1/trace` must return the
+//! recent spans as JSON.
+//!
+//! Metrics are process-global, so every assertion is a `>=` on the
+//! scraped value, never an exact count.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use usi::ingest::{IngestConfig, IngestPipeline};
+use usi::prelude::*;
+use usi::server::json::Json;
+use usi::server::{serve, AccessLog};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn sample_index(seed: u64, n: usize) -> UsiIndex {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let text: Vec<u8> = (0..n).map(|_| b'a' + rng.gen_range(0..3u8)).collect();
+    let ws = WeightedString::new(text, vec![1.0; n]).unwrap();
+    UsiBuilder::new().with_k(25).deterministic(seed).build(ws)
+}
+
+/// One blocking HTTP exchange; returns (status, body).
+fn exchange(addr: SocketAddr, request: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to test server");
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let (head, body) = response.split_once("\r\n\r\n").expect("complete response");
+    let status: u16 = head.split(' ').nth(1).and_then(|s| s.parse().ok()).expect("status code");
+    (status, body.to_string())
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    exchange(addr, &format!("GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"))
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    exchange(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+/// The value of the first sample whose line starts with `series`
+/// (pass the full name-plus-labels prefix, e.g.
+/// `usi_http_requests_total{route="/v1/query",status="200"}`).
+fn sample(metrics: &str, series: &str) -> Option<f64> {
+    metrics.lines().filter(|l| !l.starts_with('#')).find_map(|line| {
+        let rest = line.strip_prefix(series)?;
+        rest.split_whitespace().next()?.parse().ok()
+    })
+}
+
+#[test]
+fn metrics_and_trace_reflect_real_traffic() {
+    let dir = std::env::temp_dir().join("usi-obs-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let wal_path = dir.join("live.usil");
+    let _ = std::fs::remove_file(&wal_path);
+
+    // one static document plus one ingest-enabled one; the default
+    // IngestConfig keeps sync_wal on, so every append fsyncs (and
+    // shows up in usi_wal_fsync_seconds)
+    let catalog = Arc::new(Catalog::new(2));
+    catalog.insert("alpha", sample_index(1, 400));
+    let (pipeline, _) =
+        IngestPipeline::open(sample_index(2, 200), &wal_path, IngestConfig::default()).unwrap();
+    catalog.insert_ingest("live", pipeline);
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    // slow_query_ms = 0: every request crosses the threshold, so the
+    // slow-query path (log line + counter) is exercised; the JSON
+    // access log is exercised the same way
+    let config = ServerConfig {
+        slow_query_ms: Some(0),
+        access_log: AccessLog::Json,
+        ..ServerConfig::with_workers(2)
+    };
+    let handle = serve(Arc::clone(&catalog), listener, config).unwrap();
+    let addr = handle.addr();
+
+    // ---- healthz keeps its contract and gains version + uptime ---------
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert!(body.starts_with(r#"{"status":"ok","docs":2"#), "healthz: {body}");
+    let parsed = Json::parse(&body).unwrap();
+    assert_eq!(parsed.get("version").and_then(Json::as_str), Some(env!("CARGO_PKG_VERSION")));
+    assert!(parsed.get("uptime_seconds").and_then(Json::as_f64).is_some(), "healthz: {body}");
+
+    // ---- traffic: queries (repeated batch → cache hits), an append,
+    // ---- and a 404 -----------------------------------------------------
+    let query = r#"{"doc":"alpha","patterns":["ab","ba","aab"]}"#;
+    for _ in 0..2 {
+        let (status, body) = post(addr, "/v1/query", query);
+        assert_eq!(status, 200, "{body}");
+    }
+    let (status, body) = post(addr, "/v1/docs/live/append", r#"{"text":"abcabc","weight":1.0}"#);
+    assert_eq!(status, 200, "{body}");
+    let (status, body) = get(addr, "/v1/definitely-not-a-route");
+    assert_eq!(status, 404);
+    // satellite: every HTTP error shares one JSON body shape
+    let parsed = Json::parse(&body).expect("error bodies are JSON");
+    assert!(parsed.get("error").and_then(Json::as_str).is_some(), "error body: {body}");
+    assert_eq!(parsed.get("status").and_then(Json::as_f64), Some(404.0), "error body: {body}");
+
+    // ---- /metrics: Prometheus text with the advertised series ----------
+    let (status, metrics) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+
+    // request-latency histogram, labelled by route
+    assert!(
+        metrics.contains("# TYPE usi_http_request_seconds histogram"),
+        "missing histogram TYPE line:\n{metrics}"
+    );
+    assert!(
+        sample(&metrics, r#"usi_http_request_seconds_count{route="/v1/query"}"#)
+            .is_some_and(|v| v >= 2.0),
+        "query latency count:\n{metrics}"
+    );
+    assert!(
+        metrics.lines().any(|l| l.starts_with("usi_http_request_seconds_bucket")
+            && l.contains(r#"le="+Inf""#)),
+        "histogram must expose +Inf bucket:\n{metrics}"
+    );
+    assert!(
+        sample(&metrics, r#"usi_http_requests_total{route="/v1/query",status="200"}"#)
+            .is_some_and(|v| v >= 2.0),
+        "query request counter:\n{metrics}"
+    );
+    assert!(
+        sample(&metrics, r#"usi_http_requests_total{route="/v1/docs/{id}/append",status="200"}"#)
+            .is_some_and(|v| v >= 1.0),
+        "append request counter:\n{metrics}"
+    );
+    assert!(
+        sample(&metrics, r#"usi_http_requests_total{route="other",status="404"}"#)
+            .is_some_and(|v| v >= 1.0),
+        "404 request counter:\n{metrics}"
+    );
+    assert!(
+        sample(&metrics, "usi_http_slow_requests_total").is_some_and(|v| v >= 1.0),
+        "slow-query counter (threshold 0):\n{metrics}"
+    );
+
+    // pool gauges exist (depth drains back to 0 between requests)
+    assert!(sample(&metrics, "usi_pool_queue_depth").is_some(), "pool depth:\n{metrics}");
+    assert!(sample(&metrics, "usi_pool_jobs_in_flight").is_some(), "pool in-flight:\n{metrics}");
+
+    // cache counters: first batch misses, identical second batch hits
+    assert!(
+        sample(&metrics, "usi_cache_misses_total").is_some_and(|v| v >= 3.0),
+        "cache misses:\n{metrics}"
+    );
+    assert!(
+        sample(&metrics, "usi_cache_hits_total").is_some_and(|v| v >= 3.0),
+        "cache hits:\n{metrics}"
+    );
+    assert!(
+        sample(&metrics, r#"usi_doc_queries_total{doc="alpha"}"#).is_some_and(|v| v >= 6.0),
+        "per-doc query counter:\n{metrics}"
+    );
+    assert!(
+        sample(&metrics, "usi_query_batch_size_count").is_some_and(|v| v >= 2.0),
+        "batch-size histogram:\n{metrics}"
+    );
+
+    // WAL durability: the synced append fsynced at least once
+    assert!(
+        sample(&metrics, "usi_wal_fsync_seconds_count").is_some_and(|v| v >= 1.0),
+        "wal fsync histogram:\n{metrics}"
+    );
+    assert!(
+        sample(&metrics, "usi_wal_bytes_written_total").is_some_and(|v| v >= 6.0),
+        "wal bytes:\n{metrics}"
+    );
+    assert!(
+        sample(&metrics, "usi_wal_appends_total").is_some_and(|v| v >= 1.0),
+        "wal appends:\n{metrics}"
+    );
+
+    // index builds ran in-process (sample_index): build timings exist
+    assert!(
+        sample(&metrics, "usi_index_build_seconds_count").is_some_and(|v| v >= 2.0),
+        "build histogram:\n{metrics}"
+    );
+
+    // ---- /v1/trace: recent spans as JSON -------------------------------
+    let (status, body) = get(addr, "/v1/trace");
+    assert_eq!(status, 200);
+    let parsed = Json::parse(&body).unwrap();
+    let spans = parsed.get("spans").and_then(Json::as_array).expect("spans array");
+    assert!(
+        spans.iter().any(|s| s.get("name").and_then(Json::as_str) == Some("http.request")),
+        "trace must hold http.request spans: {body}"
+    );
+    assert!(parsed.get("dropped").and_then(Json::as_f64).is_some(), "trace: {body}");
+
+    handle.shutdown();
+}

@@ -108,7 +108,9 @@ fn catalog_server_answers_match_direct_queries_byte_for_byte() {
     // ---- health and listing --------------------------------------------
     let (status, body) = get(addr, "/healthz");
     assert_eq!(status, 200);
-    assert_eq!(body, r#"{"status":"ok","docs":3}"#);
+    // healthz carries extra fields (version, uptime); the leading keys
+    // stay pinned so grep-style probes keep working
+    assert!(body.starts_with(r#"{"status":"ok","docs":3"#), "unexpected healthz body: {body}");
 
     let (status, body) = get(addr, "/v1/docs");
     assert_eq!(status, 200);
@@ -209,7 +211,7 @@ fn keep_alive_connection_stays_open_across_sequential_requests() {
         stream.write_all(b"GET /healthz HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
         let (status, body, keep_alive) = read_framed_response(&mut stream);
         assert_eq!(status, 200, "round {round}");
-        assert_eq!(body, r#"{"status":"ok","docs":1}"#, "round {round}");
+        assert!(body.starts_with(r#"{"status":"ok","docs":1"#), "round {round}: {body}");
         assert!(keep_alive, "round {round}: server must advertise keep-alive");
         // the socket is provably the same one: the local port never changed
         assert_eq!(stream.local_addr().unwrap(), local, "round {round}");
