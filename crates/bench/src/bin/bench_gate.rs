@@ -68,26 +68,34 @@ fn read_current(path: &str) -> BTreeMap<String, f64> {
     medians
 }
 
-fn read_thresholds(path: &str) -> BTreeMap<String, f64> {
+/// Reads the thresholds file. Keys starting with `_` are free-form
+/// annotations (provenance notes like which box the medians came from),
+/// not baselines: they are returned separately, preserved by
+/// `--update`, and never compared.
+fn read_thresholds(path: &str) -> (BTreeMap<String, f64>, Vec<(String, Json)>) {
     let data =
         std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
     let value = Json::parse(&data).unwrap_or_else(|e| die(&format!("{path}: {e}")));
     let Json::Obj(members) = value else {
         die(&format!("{path}: expected a JSON object of name → median_ns"));
     };
-    members
-        .into_iter()
-        .map(|(name, v)| {
-            let ns = v.as_f64().unwrap_or_else(|| die(&format!("{path}: {name} is not a number")));
-            (name, ns)
-        })
-        .collect()
+    let mut thresholds = BTreeMap::new();
+    let mut annotations = Vec::new();
+    for (name, v) in members {
+        if name.starts_with('_') {
+            annotations.push((name, v));
+            continue;
+        }
+        let ns = v.as_f64().unwrap_or_else(|| die(&format!("{path}: {name} is not a number")));
+        thresholds.insert(name, ns);
+    }
+    (thresholds, annotations)
 }
 
-fn write_thresholds(path: &str, medians: &BTreeMap<String, f64>) {
-    let obj = Json::Obj(
-        medians.iter().map(|(name, &ns)| (name.clone(), Json::Num(ns.round()))).collect(),
-    );
+fn write_thresholds(path: &str, medians: &BTreeMap<String, f64>, annotations: &[(String, Json)]) {
+    let mut members: Vec<(String, Json)> = annotations.to_vec();
+    members.extend(medians.iter().map(|(name, &ns)| (name.clone(), Json::Num(ns.round()))));
+    let obj = Json::Obj(members);
     std::fs::write(path, obj.encode() + "\n")
         .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
     println!("bench_gate: wrote {} baselines to {path}", medians.len());
@@ -106,17 +114,18 @@ fn main() {
 
     let current = read_current(&current_path);
     if update {
-        // merge: benches not in this run keep their existing baselines
-        let mut merged = if std::path::Path::new(&thresholds_path).exists() {
+        // merge: benches not in this run keep their existing baselines,
+        // and `_`-prefixed annotations survive recalibration
+        let (mut merged, annotations) = if std::path::Path::new(&thresholds_path).exists() {
             read_thresholds(&thresholds_path)
         } else {
-            BTreeMap::new()
+            (BTreeMap::new(), Vec::new())
         };
         merged.extend(current);
-        write_thresholds(&thresholds_path, &merged);
+        write_thresholds(&thresholds_path, &merged, &annotations);
         return;
     }
-    let thresholds = read_thresholds(&thresholds_path);
+    let (thresholds, _annotations) = read_thresholds(&thresholds_path);
 
     let mut results: Vec<Json> = Vec::new();
     let mut failures = 0usize;

@@ -18,25 +18,36 @@
 //! connections finish, and joins every thread.
 //!
 //! Connections are **persistent** (HTTP/1.1 keep-alive): each accepted
-//! socket runs a request loop that answers until the client asks for
-//! `Connection: close` (or is HTTP/1.0 without `keep-alive`), the
-//! configured idle timeout passes between requests, or
+//! socket is answered until the client asks for `Connection: close` (or
+//! is HTTP/1.0 without `keep-alive`), the configured idle timeout
+//! passes between requests, or
 //! [`ServerConfig::max_requests_per_connection`] is reached — so hot
 //! clients pay TCP setup once, not per query. Pipelining is supported
 //! and bounded: bytes a client sends ahead of the current request stay
 //! in the per-connection buffer (at most one head + one body ahead)
-//! and are answered in order. Note the worker-pool consequence: an
-//! open connection occupies its worker until it closes or idles out,
-//! so size [`ServerConfig::workers`] to the expected number of
-//! concurrently connected clients, not requests.
+//! and are answered in order.
+//!
+//! **Idle connections do not occupy workers.** On Linux a readiness
+//! reactor (the private `reactor` module) parks every idle socket in an epoll
+//! set; a pool worker is borrowed only while a request is actually
+//! being parsed and answered, then the socket is re-armed with the
+//! reactor — tens of thousands of idle keep-alive connections are
+//! served from a handful of workers, with [`ServerConfig::max_connections`]
+//! bounding the total (over-capacity connects get `503` and a close).
+//! On other platforms (or with [`ServerConfig::reactor`] off) the
+//! original thread-per-connection fallback runs: an open connection
+//! occupies its worker until it closes or idles out, so there size
+//! [`ServerConfig::workers`] to the expected number of concurrently
+//! connected clients, not requests.
 
 use crate::catalog::{AppendError, Catalog};
 use crate::json::{fan_out_response_json, query_response_json, Json};
 use crate::metrics;
-use crate::pool::WorkerPool;
+use crate::pool::{ConnVerdict, WorkerPool};
+use crate::reactor;
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -100,6 +111,14 @@ pub struct ServerConfig {
     pub slow_query_ms: Option<u64>,
     /// Per-request access logging to stderr.
     pub access_log: AccessLog,
+    /// Most connections held open at once. A connect past the limit is
+    /// answered with `503` (the uniform JSON error body) and closed
+    /// immediately, protecting the reactor's descriptor budget.
+    pub max_connections: usize,
+    /// Serve idle connections from the epoll reactor (Linux). When
+    /// `false` — or on platforms without epoll — every connection pins
+    /// a pool worker for its whole lifetime, the pre-reactor behaviour.
+    pub reactor: bool,
 }
 
 impl Default for ServerConfig {
@@ -113,6 +132,8 @@ impl Default for ServerConfig {
             max_requests_per_connection: 1000,
             slow_query_ms: None,
             access_log: AccessLog::Off,
+            max_connections: 100_000,
+            reactor: true,
         }
     }
 }
@@ -124,13 +145,28 @@ impl ServerConfig {
     }
 }
 
+/// How [`ServerHandle::shutdown`] interrupts the serving thread's
+/// blocking wait.
+pub(crate) enum WakeStrategy {
+    /// Wake a blocking `accept()` with a throwaway loopback connection
+    /// (the thread-per-connection fallback has nothing better to poke).
+    Connect,
+    /// Write the reactor's eventfd, which is registered in its epoll
+    /// set — no artificial connection, works even at the descriptor
+    /// limit.
+    #[cfg(target_os = "linux")]
+    Eventfd(Arc<std::fs::File>),
+}
+
 /// A running server; dropping it (or calling
 /// [`ServerHandle::shutdown`]) stops the accept loop and joins every
 /// worker.
 pub struct ServerHandle {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    accept: Option<JoinHandle<()>>,
+    pub(crate) addr: SocketAddr,
+    pub(crate) stop: Arc<AtomicBool>,
+    pub(crate) thread: Option<JoinHandle<()>>,
+    pub(crate) waker: WakeStrategy,
+    pub(crate) open: Arc<AtomicUsize>,
 }
 
 impl ServerHandle {
@@ -140,6 +176,14 @@ impl ServerHandle {
         self.addr
     }
 
+    /// Connections this server currently holds open (accepted and not
+    /// yet closed). Unlike the process-global `usi_http_connections_open`
+    /// gauge this counts one server instance, so tests and embedders
+    /// running several servers in one process can observe each alone.
+    pub fn open_connections(&self) -> usize {
+        self.open.load(Ordering::SeqCst)
+    }
+
     /// Stops accepting, drains queued connections and joins all threads.
     pub fn shutdown(mut self) {
         self.stop_and_join();
@@ -147,18 +191,30 @@ impl ServerHandle {
 
     fn stop_and_join(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        // wake the blocking accept() with a throwaway connection; a
-        // wildcard bind (0.0.0.0 / ::) is not connectable everywhere,
-        // so aim at the loopback of the same family instead
-        let mut wake = self.addr;
-        if wake.ip().is_unspecified() {
-            wake.set_ip(match wake.ip() {
-                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
-                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
-            });
+        match &self.waker {
+            WakeStrategy::Connect => {
+                // wake the blocking accept() with a throwaway connection;
+                // a wildcard bind (0.0.0.0 / ::) is not connectable
+                // everywhere, so aim at the loopback of the same family
+                let mut wake = self.addr;
+                if wake.ip().is_unspecified() {
+                    wake.set_ip(match wake.ip() {
+                        std::net::IpAddr::V4(_) => {
+                            std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST)
+                        }
+                        std::net::IpAddr::V6(_) => {
+                            std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST)
+                        }
+                    });
+                }
+                let _ = TcpStream::connect_timeout(&wake, Duration::from_secs(1));
+            }
+            #[cfg(target_os = "linux")]
+            WakeStrategy::Eventfd(fd) => {
+                let _ = (&**fd).write_all(&1u64.to_ne_bytes());
+            }
         }
-        let _ = TcpStream::connect_timeout(&wake, Duration::from_secs(1));
-        if let Some(thread) = self.accept.take() {
+        if let Some(thread) = self.thread.take() {
             let _ = thread.join();
         }
     }
@@ -166,25 +222,42 @@ impl ServerHandle {
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        if self.accept.is_some() {
+        if self.thread.is_some() {
             self.stop_and_join();
         }
     }
 }
 
-/// Starts serving `catalog` on `listener` with a pool of
-/// `config.workers` connection workers. Returns immediately; the accept
-/// loop runs on its own thread until the handle shuts down.
+/// Starts serving `catalog` on `listener`. Returns immediately; serving
+/// runs on its own thread(s) until the handle shuts down. On Linux with
+/// [`ServerConfig::reactor`] on (the default) connections are parked in
+/// an epoll reactor between requests; otherwise each connection pins a
+/// worker from the fixed pool for its lifetime.
 pub fn serve(
     catalog: Arc<Catalog>,
     listener: TcpListener,
     config: ServerConfig,
 ) -> io::Result<ServerHandle> {
-    let addr = listener.local_addr()?;
     // pin the uptime epoch: /healthz reports seconds of serving time
     usi_obs::process_start();
+    if config.reactor && reactor::SUPPORTED {
+        return reactor::serve(catalog, listener, config);
+    }
+    serve_threaded(catalog, listener, config)
+}
+
+/// The portable thread-per-connection path: a blocking accept loop
+/// hands each connection to the pool, which owns it until it closes.
+fn serve_threaded(
+    catalog: Arc<Catalog>,
+    listener: TcpListener,
+    config: ServerConfig,
+) -> io::Result<ServerHandle> {
+    let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let stop_flag = Arc::clone(&stop);
+    let open = Arc::new(AtomicUsize::new(0));
+    let open_count = Arc::clone(&open);
     let accept = std::thread::Builder::new().name("usi-accept".into()).spawn(move || {
         let pool = WorkerPool::new(config.workers);
         loop {
@@ -204,63 +277,157 @@ pub fn serve(
             }
             // answers are single writes; never let Nagle hold one back
             let _ = stream.set_nodelay(true);
+            if open_count.load(Ordering::SeqCst) >= config.max_connections.max(1) {
+                reject_over_capacity(stream);
+                continue;
+            }
+            open_count.fetch_add(1, Ordering::SeqCst);
             let catalog = Arc::clone(&catalog);
-            pool.execute(move || handle_connection(stream, &catalog, config));
+            let open_count = Arc::clone(&open_count);
+            pool.execute(move || {
+                handle_connection(stream, &catalog, config);
+                open_count.fetch_sub(1, Ordering::SeqCst);
+                ConnVerdict::Close
+            });
         }
         // pool drops here: queued connections drain, workers join
     })?;
-    Ok(ServerHandle { addr, stop, accept: Some(accept) })
+    Ok(ServerHandle { addr, stop, thread: Some(accept), waker: WakeStrategy::Connect, open })
 }
 
-/// One connection's request loop: answer until the client closes, asks
-/// to close, idles past the timeout, errors, or exhausts the
-/// per-connection request budget. Bytes the client pipelined ahead of
-/// the current request stay in `buf` and feed the next iteration.
-fn handle_connection(mut stream: TcpStream, catalog: &Catalog, config: ServerConfig) {
+/// Per-connection parse/serve state shared by the thread-per-connection
+/// path and the reactor: the socket, the pipelining carry-over buffer,
+/// and how many requests this connection has answered (the budget
+/// counter).
+pub(crate) struct ConnState {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    served: u64,
+}
+
+impl ConnState {
+    pub(crate) fn new(stream: TcpStream) -> Self {
+        Self { stream, buf: Vec::with_capacity(1024), served: 0 }
+    }
+
+    pub(crate) fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Whether the carry-over buffer already holds one complete
+    /// pipelined request (head + body) — servable without reading the
+    /// socket, so the reactor must not park the connection yet.
+    pub(crate) fn has_buffered_request(&self) -> bool {
+        has_complete_request(&self.buf)
+    }
+}
+
+/// Outcome of serving a single request on a connection.
+pub(crate) enum Exchange {
+    /// Response written, connection stays open for the next request.
+    KeepAlive,
+    /// The connection is done: client closed/asked to close, idle or
+    /// budget limit hit, or the transport failed.
+    Close,
+}
+
+/// Serves exactly one request off `conn`: read (through the carry-over
+/// buffer), route, respond. `count_idle` tracks the read wait in the
+/// `usi_http_connections_idle` gauge — the threaded path waits here,
+/// while the reactor accounts idleness in its epoll set instead.
+pub(crate) fn serve_one(
+    conn: &mut ConnState,
+    catalog: &Catalog,
+    config: ServerConfig,
+    count_idle: bool,
+) -> Exchange {
     let m = metrics::server();
-    m.connections_open.inc();
-    let _ = stream.set_read_timeout(Some(config.idle_timeout.max(Duration::from_millis(1))));
-    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
-    let mut buf = Vec::with_capacity(1024);
-    let budget = config.max_requests_per_connection.max(1);
-    let mut served_total = 0u64;
-    for served in 1..=budget {
+    let budget = config.max_requests_per_connection.max(1) as u64;
+    if count_idle {
         // idle: between responses, waiting on the client's next request
         m.connections_idle.inc();
-        let parsed = read_request(&mut stream, &mut buf);
+    }
+    let parsed = read_request(&mut conn.stream, &mut conn.buf);
+    if count_idle {
         m.connections_idle.dec();
-        let (response, close) = match parsed {
-            Ok(request) => {
-                served_total += 1;
-                let close = request.close || !config.keep_alive || served == budget;
-                m.requests_in_flight.inc();
-                let started = Instant::now();
-                let response = route(catalog, &request, config.batch_threads);
-                let elapsed = started.elapsed();
-                m.requests_in_flight.dec();
-                finish_request(&request, &response, elapsed, config);
-                (response, close)
-            }
-            // framing gone: answer if possible, then always close
-            Err(HttpError::TooLarge) => {
-                m.observe_request("other", 413, 0.0);
-                (error_response(413, "request too large"), true)
-            }
-            Err(HttpError::Bad(what)) => {
-                m.observe_request("other", 400, 0.0);
-                (error_response(400, what), true)
-            }
-            Err(HttpError::Io(_)) => break, // client went away or idled out
-        };
-        if write_response(&mut stream, &response, !close).is_err() || close {
-            break;
+    }
+    let (response, close) = match parsed {
+        Ok(request) => {
+            conn.served += 1;
+            let close = request.close || !config.keep_alive || conn.served >= budget;
+            m.requests_in_flight.inc();
+            let started = Instant::now();
+            let response = route(catalog, &request, config.batch_threads);
+            let elapsed = started.elapsed();
+            m.requests_in_flight.dec();
+            finish_request(&request, &response, elapsed, config);
+            (response, close)
+        }
+        // framing gone: answer if possible, then always close
+        Err(HttpError::TooLarge) => {
+            m.observe_request("other", 413, 0.0);
+            (error_response(413, "request too large"), true)
+        }
+        Err(HttpError::Bad(what)) => {
+            m.observe_request("other", 400, 0.0);
+            (error_response(400, what), true)
+        }
+        Err(HttpError::Io(_)) => return Exchange::Close, // client went away or idled out
+    };
+    if write_response(&mut conn.stream, &response, !close).is_err() || close {
+        return Exchange::Close;
+    }
+    Exchange::KeepAlive
+}
+
+/// The reactor's job body: serve the request that epoll reported plus
+/// any complete requests the client pipelined behind it, then report
+/// whether the connection should be re-armed (`true`) or closed.
+pub(crate) fn serve_ready(conn: &mut ConnState, catalog: &Catalog, config: ServerConfig) -> bool {
+    loop {
+        match serve_one(conn, catalog, config, false) {
+            Exchange::Close => return false,
+            // more buffered bytes form a full request: epoll would never
+            // fire for them (they already left the socket), serve now
+            Exchange::KeepAlive if conn.has_buffered_request() => {}
+            Exchange::KeepAlive => return true,
         }
     }
-    if served_total > 0 {
-        m.requests_per_connection.observe(served_total as f64);
+}
+
+/// Final accounting for a connection: the per-connection histogram, the
+/// open-connections gauge, and the socket teardown.
+pub(crate) fn close_connection(conn: ConnState) {
+    let m = metrics::server();
+    if conn.served > 0 {
+        m.requests_per_connection.observe(conn.served as f64);
     }
     m.connections_open.dec();
+    let _ = conn.stream.shutdown(Shutdown::Both);
+}
+
+/// Answers an over-capacity connect with the uniform JSON `503` body
+/// and closes it — never enters the pool or the reactor set.
+pub(crate) fn reject_over_capacity(mut stream: TcpStream) {
+    metrics::server().observe_request("other", 503, 0.0);
+    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+    let response = error_response(503, "connection limit reached (max_connections)");
+    let _ = write_response(&mut stream, &response, false);
     let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// One connection's request loop (thread-per-connection path): answer
+/// until the client closes, asks to close, idles past the timeout,
+/// errors, or exhausts the per-connection request budget. Bytes the
+/// client pipelined ahead of the current request stay in the carry-over
+/// buffer and feed the next iteration.
+fn handle_connection(stream: TcpStream, catalog: &Catalog, config: ServerConfig) {
+    metrics::server().connections_open.inc();
+    let _ = stream.set_read_timeout(Some(config.idle_timeout.max(Duration::from_millis(1))));
+    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+    let mut conn = ConnState::new(stream);
+    while let Exchange::KeepAlive = serve_one(&mut conn, catalog, config, true) {}
+    close_connection(conn);
 }
 
 /// Post-request accounting: metrics, the span ring, the slow-request
@@ -464,6 +631,35 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
+/// Whether `buf` already holds one complete request — the reactor's
+/// "serve now vs re-arm" test, mirroring [`read_request`]'s framing
+/// (leading-CRLF skip, head, `Content-Length` body) without consuming
+/// anything. Unparseable heads count as complete: serving them now
+/// yields the error response and a close without waiting for bytes
+/// that may never come.
+fn has_complete_request(buf: &[u8]) -> bool {
+    let mut b = buf;
+    while b.starts_with(b"\r\n") {
+        b = &b[2..];
+    }
+    let Some(head_end) = find_head_end(b) else {
+        // an over-long head is "complete": it parses to 413 right away
+        return b.len() > MAX_HEAD;
+    };
+    let mut content_length = 0usize;
+    for line in b[..head_end].split(|&byte| byte == b'\n') {
+        let Some(colon) = line.iter().position(|&byte| byte == b':') else { continue };
+        if line[..colon].trim_ascii().eq_ignore_ascii_case(b"content-length") {
+            match std::str::from_utf8(&line[colon + 1..]).map(|v| v.trim().parse::<usize>()) {
+                Ok(Ok(length)) if length <= MAX_BODY => content_length = length,
+                // bad or oversized length: parses straight to an error
+                _ => return true,
+            }
+        }
+    }
+    b.len() >= head_end + 4 + content_length
+}
+
 /// A response about to be written: status, content type and body.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Response {
@@ -484,6 +680,7 @@ fn reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         409 => "Conflict",
         413 => "Payload Too Large",
+        503 => "Service Unavailable",
         _ => "Internal Server Error",
     }
 }

@@ -35,6 +35,7 @@ pub mod http;
 pub mod json;
 pub(crate) mod metrics;
 pub mod pool;
+pub(crate) mod reactor;
 
 pub use catalog::{AppendError, Catalog, CatalogError, Doc, FanOut, LoadOptions};
 pub use http::{respond, serve, AccessLog, Response, ServerConfig, ServerHandle};

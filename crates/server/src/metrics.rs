@@ -27,8 +27,9 @@ const ROUTES: &[&str] = &[
     "other",
 ];
 
-/// Status labels actually produced by the router, plus a catch-all.
-const STATUSES: &[&str] = &["200", "400", "404", "405", "409", "413", "500", "other"];
+/// Status labels actually produced by the router (plus the reactor's
+/// over-capacity 503) and a catch-all.
+const STATUSES: &[&str] = &["200", "400", "404", "405", "409", "413", "500", "503", "other"];
 
 /// Every handle the serving path records into.
 pub(crate) struct ServerMetrics {
@@ -41,6 +42,12 @@ pub(crate) struct ServerMetrics {
     pub requests_in_flight: Arc<Gauge>,
     pub requests_per_connection: Arc<Histogram>,
     pub slow_requests_total: Arc<Counter>,
+    /// Connections dispatched by the reactor and not yet re-armed or
+    /// closed — the reactor's run queue (queued + running pool jobs).
+    pub reactor_runq: Arc<Gauge>,
+    /// `epoll_wait` returns on the reactor thread (readiness, timer
+    /// ticks and eventfd wakes all count — the reactor's duty cycle).
+    pub reactor_wakeups_total: Arc<Counter>,
     pub pool_queue_depth: Arc<Gauge>,
     pub pool_in_flight: Arc<Gauge>,
     pub pool_jobs_total: Arc<Counter>,
@@ -95,6 +102,15 @@ impl ServerMetrics {
                 "usi_http_slow_requests_total",
                 "Requests slower than the configured --slow-query-ms threshold",
             ),
+            reactor_runq: registry.gauge(
+                "usi_reactor_runq",
+                "Connections the reactor has dispatched to the worker pool and \
+                 not yet re-armed or closed",
+            ),
+            reactor_wakeups_total: registry.counter(
+                "usi_reactor_wakeups_total",
+                "Times the reactor's epoll_wait returned (events, timers, wakes)",
+            ),
             pool_queue_depth: registry.gauge(
                 "usi_pool_queue_depth",
                 "Connections queued for a worker and not yet picked up",
@@ -146,7 +162,8 @@ impl ServerMetrics {
             409 => 4,
             413 => 5,
             500 => 6,
-            _ => 7,
+            503 => 7,
+            _ => 8,
         };
         self.requests[ri][status_label].inc();
         self.request_seconds[ri].observe(seconds);

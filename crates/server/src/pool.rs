@@ -18,7 +18,23 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
-type Job = Box<dyn FnOnce() + Send + 'static>;
+/// What a connection job decided about its socket. The job has already
+/// **enacted** the decision by the time it returns — sent the connection
+/// back to the reactor for re-arming, or closed it — so the return value
+/// does not trigger any action in the pool. It exists to force every job
+/// to state its outcome explicitly: a connection can never fall off the
+/// end of a closure half-open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnVerdict {
+    /// The connection stays open; it was handed back to the reactor to
+    /// wait for its next request.
+    Rearm,
+    /// The connection was closed (client asked, budget exhausted, error,
+    /// or the transport has no reactor to re-arm with).
+    Close,
+}
+
+type Job = Box<dyn FnOnce() -> ConnVerdict + Send + 'static>;
 
 /// A fixed-size pool of named worker threads.
 pub struct WorkerPool {
@@ -50,7 +66,7 @@ impl WorkerPool {
 
     /// Queues one job; some idle worker will run it. Jobs submitted
     /// after shutdown began are silently dropped.
-    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+    pub fn execute(&self, job: impl FnOnce() -> ConnVerdict + Send + 'static) {
         if let Some(sender) = &self.sender {
             let m = metrics::server();
             m.pool_jobs_total.inc();
@@ -78,7 +94,8 @@ fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
             Ok(job) => {
                 m.pool_queue_depth.dec();
                 m.pool_in_flight.inc();
-                job();
+                // the verdict was enacted inside the job (see ConnVerdict)
+                let _verdict = job();
                 m.pool_in_flight.dec();
             }
             Err(_) => return, // channel disconnected: shutdown
@@ -109,6 +126,7 @@ mod tests {
             let counter = Arc::clone(&counter);
             pool.execute(move || {
                 counter.fetch_add(1, Ordering::SeqCst);
+                ConnVerdict::Close
             });
         }
         drop(pool);
@@ -123,6 +141,7 @@ mod tests {
         let flag = Arc::clone(&ran);
         pool.execute(move || {
             flag.store(7, Ordering::SeqCst);
+            ConnVerdict::Close
         });
         drop(pool);
         assert_eq!(ran.load(Ordering::SeqCst), 7);

@@ -1,0 +1,599 @@
+//! A readiness-driven connection reactor: epoll parks idle keep-alive
+//! sockets so they cost a file descriptor, not a worker thread.
+//!
+//! PR 5's keep-alive pinned one [`WorkerPool`] thread per open
+//! connection — a handful of idle clients starved the pool. Here a
+//! single reactor thread owns the listener plus every **idle** socket
+//! in its epoll interest set; when a socket turns readable it is
+//! deregistered and dispatched to the pool, whose job runs the ordinary
+//! per-request parse/serve path ([`crate::http::serve_ready`]: the
+//! carry-over buffer, pipelining bounds and `Connection` semantics are
+//! exactly the threaded path's) and then hands the connection *back* to
+//! the reactor instead of looping — so a worker is borrowed per
+//! request, never per connection.
+//!
+//! The pieces, all std-only in the same locally-declared-FFI style
+//! `usi_core::storage` uses for `mmap`:
+//!
+//! * [`ffi`] — `epoll_create1`/`epoll_ctl`/`epoll_wait` and `eventfd`,
+//!   the four Linux calls a readiness loop needs (fds are closed by
+//!   `OwnedFd`, so no `close` declaration);
+//! * [`TimerWheel`] — coarse hashed-wheel idle timeouts, replacing the
+//!   threaded path's per-socket `set_read_timeout` park: expiring ten
+//!   thousand idle connections costs one wheel tick, not ten thousand
+//!   blocked threads;
+//! * an **eventfd** registered in the epoll set — worker jobs write it
+//!   to hand finished connections back for re-arming, and
+//!   [`crate::ServerHandle::shutdown`] writes it to stop the loop (the
+//!   threaded path's throwaway wake-up connection is gone);
+//! * `max_connections` admission control: a connect past the limit is
+//!   answered `503` (uniform JSON error body) and closed before it can
+//!   consume a slot.
+//!
+//! On non-Linux targets [`SUPPORTED`] is `false` and `http::serve`
+//! falls back to the portable thread-per-connection path — the same
+//! gating pattern as the mmap owned-bytes fallback.
+
+/// Whether this build has the epoll reactor ([`serve`] may be called).
+pub(crate) const SUPPORTED: bool = cfg!(target_os = "linux");
+
+#[cfg(target_os = "linux")]
+pub(crate) use imp::serve;
+
+/// Stub for targets without epoll: `http::serve` checks [`SUPPORTED`]
+/// first, so this is never reached — it exists so the crate compiles
+/// identically everywhere.
+#[cfg(not(target_os = "linux"))]
+pub(crate) fn serve(
+    _catalog: std::sync::Arc<crate::Catalog>,
+    _listener: std::net::TcpListener,
+    _config: crate::ServerConfig,
+) -> std::io::Result<crate::ServerHandle> {
+    Err(std::io::Error::new(
+        std::io::ErrorKind::Unsupported,
+        "the epoll reactor is Linux-only; http::serve falls back before calling this",
+    ))
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use crate::catalog::Catalog;
+    use crate::http::{
+        close_connection, reject_over_capacity, serve_ready, ConnState, ServerConfig, ServerHandle,
+        WakeStrategy,
+    };
+    use crate::metrics;
+    use crate::pool::{ConnVerdict, WorkerPool};
+    use std::collections::HashMap;
+    use std::fs::File;
+    use std::io::{self, Read};
+    use std::net::TcpListener;
+    use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::mpsc::{channel, Receiver, Sender};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    /// Write-side socket timeout for connections the reactor owns.
+    const SOCKET_TIMEOUT: Duration = Duration::from_secs(10);
+
+    mod ffi {
+        //! The four Linux calls a readiness loop needs, declared locally
+        //! because the workspace is std-only (no `libc` crate) — the
+        //! same pattern as `usi_core::storage`'s mmap FFI. Constants
+        //! match the kernel UAPI headers.
+
+        use std::ffi::{c_int, c_uint};
+
+        pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+        pub const EPOLL_CTL_ADD: c_int = 1;
+        pub const EPOLL_CTL_DEL: c_int = 2;
+        pub const EPOLLIN: u32 = 0x001;
+        pub const EPOLLRDHUP: u32 = 0x2000;
+        pub const EFD_CLOEXEC: c_int = 0o2000000;
+        pub const EFD_NONBLOCK: c_int = 0o4000;
+
+        /// Mirror of the kernel's `struct epoll_event`. x86-64 is the
+        /// one ABI where the struct is packed (12 bytes); everywhere
+        /// else it is naturally aligned (16 bytes).
+        #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+        #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+        #[derive(Clone, Copy)]
+        pub struct EpollEvent {
+            pub events: u32,
+            /// User cookie: the reactor stores its connection token here.
+            pub data: u64,
+        }
+
+        extern "C" {
+            pub fn epoll_create1(flags: c_int) -> c_int;
+            pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+            pub fn epoll_wait(
+                epfd: c_int,
+                events: *mut EpollEvent,
+                maxevents: c_int,
+                timeout_ms: c_int,
+            ) -> c_int;
+            pub fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+        }
+    }
+
+    /// Thin safe wrapper over one epoll instance.
+    struct Epoll {
+        fd: OwnedFd,
+    }
+
+    impl Epoll {
+        fn new() -> io::Result<Self> {
+            // SAFETY: plain syscall; the kernel validates the flags and
+            // reports failure as a negative return.
+            let fd = unsafe { ffi::epoll_create1(ffi::EPOLL_CLOEXEC) };
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            // SAFETY: `fd` is a freshly created, unowned epoll descriptor.
+            Ok(Self { fd: unsafe { OwnedFd::from_raw_fd(fd) } })
+        }
+
+        /// Adds `fd` to the interest set, readable-or-peer-shutdown.
+        /// (`EPOLLERR`/`EPOLLHUP` are always reported; they need no
+        /// subscription.)
+        fn add(&self, fd: RawFd, token: u64) -> io::Result<()> {
+            let mut event = ffi::EpollEvent { events: ffi::EPOLLIN | ffi::EPOLLRDHUP, data: token };
+            // SAFETY: `event` outlives the call; the kernel copies it.
+            let rc =
+                unsafe { ffi::epoll_ctl(self.fd.as_raw_fd(), ffi::EPOLL_CTL_ADD, fd, &mut event) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        fn del(&self, fd: RawFd) {
+            let mut event = ffi::EpollEvent { events: 0, data: 0 };
+            // SAFETY: as in `add`; a failed DEL (fd already closed) is
+            // harmless — the kernel removed it on close.
+            let _ =
+                unsafe { ffi::epoll_ctl(self.fd.as_raw_fd(), ffi::EPOLL_CTL_DEL, fd, &mut event) };
+        }
+
+        /// Blocks up to `timeout_ms` (-1 = forever) for events; EINTR
+        /// reads as zero events, letting the caller loop.
+        fn wait(&self, events: &mut [ffi::EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+            // SAFETY: `events` is a live, writable buffer of the length
+            // passed; the kernel fills at most that many entries.
+            let n = unsafe {
+                ffi::epoll_wait(
+                    self.fd.as_raw_fd(),
+                    events.as_mut_ptr(),
+                    events.len() as i32,
+                    timeout_ms,
+                )
+            };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(0);
+                }
+                return Err(err);
+            }
+            Ok(n as usize)
+        }
+    }
+
+    /// Creates the reactor's wake eventfd (non-blocking so draining the
+    /// counter never stalls the loop).
+    fn new_eventfd() -> io::Result<File> {
+        // SAFETY: plain syscall; failure is a negative return.
+        let fd = unsafe { ffi::eventfd(0, ffi::EFD_CLOEXEC | ffi::EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // SAFETY: `fd` is a freshly created, unowned eventfd.
+        Ok(File::from(unsafe { OwnedFd::from_raw_fd(fd) }))
+    }
+
+    /// A coarse hashed timer wheel for idle-connection deadlines.
+    ///
+    /// Deadlines land in one of `slots.len()` buckets by tick number
+    /// (ceil-rounded, so an entry never fires before its deadline);
+    /// advancing the wheel to "now" drains every passed bucket. All
+    /// entries share one horizon (the idle timeout), so the wheel never
+    /// needs cascading — a token scheduled now always fits within one
+    /// revolution. Entries are lazily validated against the connection
+    /// map on expiry, so a token whose connection was dispatched (and
+    /// re-registered under a fresh token) simply misses and is dropped.
+    struct TimerWheel {
+        slots: Vec<Vec<u64>>,
+        granularity: Duration,
+        /// The wheel's time origin; tick numbers count from here.
+        start: Instant,
+        /// Last tick whose bucket has been drained.
+        cursor: u64,
+        /// Live (scheduled, not yet drained) entries.
+        entries: usize,
+    }
+
+    impl TimerWheel {
+        fn new(horizon: Duration, now: Instant) -> Self {
+            // granularity: ~1/16 of the horizon, clamped to sane bounds;
+            // eviction precision is one granule late at worst
+            let granularity =
+                (horizon / 16).clamp(Duration::from_millis(20), Duration::from_secs(1));
+            let slots = (horizon.as_nanos() / granularity.as_nanos()) as usize + 2;
+            Self { slots: vec![Vec::new(); slots], granularity, start: now, cursor: 0, entries: 0 }
+        }
+
+        fn tick_of(&self, t: Instant) -> u64 {
+            (t.saturating_duration_since(self.start).as_nanos() / self.granularity.as_nanos())
+                as u64
+        }
+
+        /// Schedules `token` to fire at the first tick boundary at or
+        /// after `deadline` (never early, at most one granule late).
+        fn schedule(&mut self, token: u64, deadline: Instant) {
+            let tick = (self.tick_of(deadline) + 1).max(self.cursor + 1);
+            let slot = (tick % self.slots.len() as u64) as usize;
+            self.slots[slot].push(token);
+            self.entries += 1;
+        }
+
+        /// Advances the wheel to `now`, appending every due token to
+        /// `out`.
+        fn expire_into(&mut self, now: Instant, out: &mut Vec<u64>) {
+            let now_tick = self.tick_of(now);
+            while self.cursor < now_tick {
+                self.cursor += 1;
+                let slot = (self.cursor % self.slots.len() as u64) as usize;
+                self.entries -= self.slots[slot].len();
+                out.append(&mut self.slots[slot]);
+            }
+        }
+
+        /// Milliseconds until the next tick boundary, or `None` when no
+        /// entry is scheduled (the epoll wait may block forever).
+        fn next_timeout_ms(&self, now: Instant) -> Option<i32> {
+            if self.entries == 0 {
+                return None;
+            }
+            let next = self.start
+                + Duration::from_nanos(
+                    (self.granularity.as_nanos() as u64).saturating_mul(self.cursor + 1),
+                );
+            let ms = next.saturating_duration_since(now).as_millis() as i32;
+            Some(ms.max(1))
+        }
+    }
+
+    /// State shared between the reactor thread and its pool jobs.
+    struct Shared {
+        catalog: Arc<Catalog>,
+        config: ServerConfig,
+        /// Per-server open-connection count (also the `max_connections`
+        /// admission test); mirrors the process-global gauge.
+        open: Arc<AtomicUsize>,
+        /// Finished jobs hand connections back here for re-arming…
+        completions: Sender<ConnState>,
+        /// …then write the eventfd so the reactor notices.
+        wake: Arc<File>,
+    }
+
+    impl Shared {
+        fn wake(&self) {
+            use std::io::Write;
+            let _ = (&*self.wake).write_all(&1u64.to_ne_bytes());
+        }
+
+        /// Closes a reactor-owned connection, keeping both counts right.
+        fn close(&self, conn: ConnState) {
+            self.open.fetch_sub(1, Ordering::SeqCst);
+            close_connection(conn);
+        }
+    }
+
+    /// An idle connection parked in the epoll set.
+    struct Parked {
+        conn: ConnState,
+        deadline: Instant,
+    }
+
+    const TOKEN_LISTENER: u64 = u64::MAX;
+    const TOKEN_WAKE: u64 = u64::MAX - 1;
+
+    struct Reactor {
+        epoll: Epoll,
+        listener: TcpListener,
+        shared: Arc<Shared>,
+        stop: Arc<AtomicBool>,
+        completions: Receiver<ConnState>,
+        pool: WorkerPool,
+        /// Idle connections by token. Tokens are never reused, so a
+        /// stale wheel entry can only miss, never hit the wrong socket.
+        parked: HashMap<u64, Parked>,
+        wheel: TimerWheel,
+        next_token: u64,
+    }
+
+    impl Reactor {
+        fn run(mut self) {
+            let m = metrics::server();
+            let mut events = vec![ffi::EpollEvent { events: 0, data: 0 }; 1024];
+            let mut due = Vec::new();
+            loop {
+                let timeout = self.wheel.next_timeout_ms(Instant::now()).unwrap_or(-1);
+                let n = match self.epoll.wait(&mut events, timeout) {
+                    Ok(n) => n,
+                    Err(e) => {
+                        // an unusable epoll fd is unrecoverable; closing
+                        // the loop lets shutdown proceed instead of
+                        // spinning
+                        eprintln!("usi-reactor: epoll_wait failed, stopping: {e}");
+                        break;
+                    }
+                };
+                m.reactor_wakeups_total.inc();
+                if self.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                for event in events.iter().take(n).copied() {
+                    match event.data {
+                        TOKEN_LISTENER => self.accept_ready(),
+                        TOKEN_WAKE => self.drain_wake(),
+                        token => self.dispatch(token),
+                    }
+                }
+                // jobs finished since the last pass: park their
+                // connections again (or serve the bytes that already
+                // arrived — level-triggered epoll re-fires immediately)
+                while let Ok(conn) = self.completions.try_recv() {
+                    self.park(conn);
+                }
+                self.evict_expired(&mut due);
+            }
+            self.drain_on_shutdown();
+        }
+
+        /// Accepts until the listener runs dry (it is non-blocking).
+        fn accept_ready(&mut self) {
+            let m = metrics::server();
+            loop {
+                let stream = match self.listener.accept() {
+                    Ok((stream, _)) => stream,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(_) => {
+                        // EMFILE/ECONNABORTED under flood: brief backoff;
+                        // level-triggered epoll re-reports the listener
+                        // if connections are still pending
+                        std::thread::sleep(Duration::from_millis(10));
+                        break;
+                    }
+                };
+                // answers are single writes; never let Nagle hold one
+                let _ = stream.set_nodelay(true);
+                if self.shared.open.load(Ordering::SeqCst)
+                    >= self.shared.config.max_connections.max(1)
+                {
+                    reject_over_capacity(stream);
+                    continue;
+                }
+                // a blocking read in a worker job is bounded the same
+                // way the threaded path bounds it
+                let _ = stream.set_read_timeout(Some(
+                    self.shared.config.idle_timeout.max(Duration::from_millis(1)),
+                ));
+                let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+                self.shared.open.fetch_add(1, Ordering::SeqCst);
+                m.connections_open.inc();
+                self.park(ConnState::new(stream));
+            }
+        }
+
+        /// Registers a connection in the epoll set with a fresh token
+        /// and idle deadline. A connection that came back from a job
+        /// with a complete pipelined request already buffered is
+        /// dispatched again instead (epoll cannot see bytes that left
+        /// the socket).
+        fn park(&mut self, conn: ConnState) {
+            if self.stop.load(Ordering::SeqCst) {
+                self.shared.close(conn);
+                return;
+            }
+            if conn.has_buffered_request() {
+                self.submit(conn);
+                return;
+            }
+            let token = self.next_token;
+            self.next_token += 1;
+            if let Err(e) = self.epoll.add(conn.stream().as_raw_fd(), token) {
+                // registration failure (EMFILE on the epoll side, bad
+                // fd): the connection cannot be waited on — drop it
+                eprintln!("usi-reactor: cannot register connection: {e}");
+                self.shared.close(conn);
+                return;
+            }
+            let deadline = Instant::now() + self.shared.config.idle_timeout;
+            self.wheel.schedule(token, deadline);
+            self.parked.insert(token, Parked { conn, deadline });
+            metrics::server().connections_idle.inc();
+        }
+
+        /// A parked socket turned readable (or hung up): pull it out of
+        /// the epoll set and hand it to the pool. Error'd/hung-up
+        /// sockets take the same path — the job's read observes the
+        /// EOF or reset and closes cleanly.
+        fn dispatch(&mut self, token: u64) {
+            let Some(parked) = self.parked.remove(&token) else {
+                return; // already evicted this pass
+            };
+            self.epoll.del(parked.conn.stream().as_raw_fd());
+            metrics::server().connections_idle.dec();
+            self.submit(parked.conn);
+        }
+
+        /// Queues the serve job for a readable connection.
+        fn submit(&self, mut conn: ConnState) {
+            let m = metrics::server();
+            m.reactor_runq.inc();
+            let shared = Arc::clone(&self.shared);
+            self.pool.execute(move || {
+                let m = metrics::server();
+                let keep = serve_ready(&mut conn, &shared.catalog, shared.config);
+                m.reactor_runq.dec();
+                if keep {
+                    match shared.completions.send(conn) {
+                        Ok(()) => {
+                            shared.wake();
+                            return ConnVerdict::Rearm;
+                        }
+                        // reactor already gone (shutdown): close instead
+                        Err(back) => shared.close(back.0),
+                    }
+                } else {
+                    shared.close(conn);
+                }
+                ConnVerdict::Close
+            });
+        }
+
+        fn drain_wake(&self) {
+            let mut counter = [0u8; 8];
+            // non-blocking eventfd: a WouldBlock here just means another
+            // pass already consumed the counter
+            let _ = (&*self.shared.wake).read(&mut counter);
+        }
+
+        /// Closes every parked connection whose idle deadline passed.
+        /// The wheel hands tokens back in deadline order, so eviction
+        /// order equals expiry order.
+        fn evict_expired(&mut self, due: &mut Vec<u64>) {
+            let now = Instant::now();
+            self.wheel.expire_into(now, due);
+            for token in due.drain(..) {
+                let Some(parked) = self.parked.get(&token) else {
+                    continue; // dispatched or closed since scheduling
+                };
+                if parked.deadline > now {
+                    // only possible via clock coarseness; re-schedule
+                    let deadline = parked.deadline;
+                    self.wheel.schedule(token, deadline);
+                    continue;
+                }
+                let parked = self.parked.remove(&token).expect("checked above");
+                self.epoll.del(parked.conn.stream().as_raw_fd());
+                metrics::server().connections_idle.dec();
+                self.shared.close(parked.conn);
+            }
+        }
+
+        /// Shutdown: let in-flight jobs finish (dropping the pool joins
+        /// its workers), then close everything still open. Connections
+        /// that turned readable mid-shutdown are simply closed — their
+        /// events were never processed.
+        fn drain_on_shutdown(self) {
+            let Reactor { pool, completions, parked, shared, .. } = self;
+            drop(pool); // queued + running jobs drain, workers join
+            while let Ok(conn) = completions.try_recv() {
+                shared.close(conn);
+            }
+            let m = metrics::server();
+            for (_, parked) in parked {
+                m.connections_idle.dec();
+                shared.close(parked.conn);
+            }
+            // epoll fd and listener close on drop
+        }
+    }
+
+    /// Starts the reactor thread serving `catalog` on `listener`.
+    pub(crate) fn serve(
+        catalog: Arc<Catalog>,
+        listener: TcpListener,
+        config: ServerConfig,
+    ) -> io::Result<ServerHandle> {
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let epoll = Epoll::new()?;
+        let wake = Arc::new(new_eventfd()?);
+        epoll.add(listener.as_raw_fd(), TOKEN_LISTENER)?;
+        epoll.add(wake.as_raw_fd(), TOKEN_WAKE)?;
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let open = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = channel();
+        let shared = Arc::new(Shared {
+            catalog,
+            config,
+            open: Arc::clone(&open),
+            completions: tx,
+            wake: Arc::clone(&wake),
+        });
+        let stop_flag = Arc::clone(&stop);
+        let now = Instant::now();
+        let thread = std::thread::Builder::new().name("usi-reactor".into()).spawn(move || {
+            Reactor {
+                epoll,
+                listener,
+                shared,
+                stop: stop_flag,
+                completions: rx,
+                pool: WorkerPool::new(config.workers),
+                parked: HashMap::new(),
+                wheel: TimerWheel::new(config.idle_timeout.max(Duration::from_millis(1)), now),
+                next_token: 0,
+            }
+            .run();
+        })?;
+        Ok(ServerHandle {
+            addr,
+            stop,
+            thread: Some(thread),
+            waker: WakeStrategy::Eventfd(wake),
+            open,
+        })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn timer_wheel_fires_in_order_and_never_early() {
+            let t0 = Instant::now();
+            let mut wheel = TimerWheel::new(Duration::from_millis(320), t0);
+            assert_eq!(wheel.next_timeout_ms(t0), None, "empty wheel blocks forever");
+
+            wheel.schedule(1, t0 + Duration::from_millis(100));
+            wheel.schedule(2, t0 + Duration::from_millis(300));
+            wheel.schedule(3, t0 + Duration::from_millis(100));
+            assert!(wheel.next_timeout_ms(t0).is_some());
+
+            let mut due = Vec::new();
+            // before the first deadline nothing may fire
+            wheel.expire_into(t0 + Duration::from_millis(80), &mut due);
+            assert!(due.is_empty(), "{due:?}");
+            // one granule past 100ms: tokens 1 and 3, not 2
+            wheel.expire_into(t0 + Duration::from_millis(160), &mut due);
+            due.sort_unstable();
+            assert_eq!(due, [1, 3]);
+            due.clear();
+            wheel.expire_into(t0 + Duration::from_millis(400), &mut due);
+            assert_eq!(due, [2]);
+            due.clear();
+            assert_eq!(wheel.next_timeout_ms(t0), None, "drained wheel is idle again");
+        }
+
+        #[test]
+        fn timer_wheel_deadline_past_means_next_tick() {
+            // a deadline already in the past still fires on the next
+            // tick after "now", never on a tick the cursor passed
+            let t0 = Instant::now();
+            let mut wheel = TimerWheel::new(Duration::from_millis(320), t0);
+            let mut due = Vec::new();
+            wheel.expire_into(t0 + Duration::from_millis(200), &mut due);
+            assert!(due.is_empty());
+            wheel.schedule(7, t0 + Duration::from_millis(100)); // before the cursor
+            wheel.expire_into(t0 + Duration::from_millis(500), &mut due);
+            assert_eq!(due, [7]);
+        }
+    }
+}

@@ -13,6 +13,7 @@
 //!           [--mmap] [--ingest-wal DIR] [--seal-threshold N]
 //!           [--compact-fanout F] [--segment-dir DIR]
 //!           [--slow-query-ms N] [--access-log off|text|json]
+//!           [--max-connections N] [--idle-timeout-ms N] [--no-reactor]
 //! usi ingest <base.usix> --wal PATH [--seal-threshold N] [--compact-fanout F]
 //!           [--threads N] [--weight W] [--no-sync] [--mmap]
 //!           [--segment-dir DIR] [--json] [--replay [--query P]…]
@@ -89,7 +90,7 @@ struct Args {
 
 /// Flags that never take a value (so `--json idx.usix` does not swallow
 /// the index path as the flag's value).
-const BOOLEAN_FLAGS: &[&str] = &["json", "replay", "no-sync", "mmap"];
+const BOOLEAN_FLAGS: &[&str] = &["json", "replay", "no-sync", "mmap", "no-reactor"];
 
 impl Args {
     fn parse(raw: &[String]) -> Self {
@@ -316,6 +317,17 @@ fn cmd_serve(args: &Args) {
         usi::server::AccessLog::parse(s)
             .unwrap_or_else(|| die("bad --access-log (expected off, text or json)"))
     });
+    // connection-scale knobs: the reactor parks idle keep-alive sockets
+    // in an epoll set (Linux; --no-reactor or other platforms fall back
+    // to thread-per-connection), max-connections bounds the descriptor
+    // budget, idle-timeout-ms evicts silent clients
+    let max_connections: Option<usize> = args
+        .flag("max-connections")
+        .map(|s| s.parse().unwrap_or_else(|_| die("bad --max-connections")));
+    let idle_timeout_ms: Option<u64> = args
+        .flag("idle-timeout-ms")
+        .map(|s| s.parse().unwrap_or_else(|_| die("bad --idle-timeout-ms")));
+    let no_reactor = args.has("no-reactor");
     let ingest_wal = args.flag("ingest-wal").map(std::path::PathBuf::from);
     let load_opts = usi::server::LoadOptions { mmap: args.has("mmap"), threads: 0 };
 
@@ -384,7 +396,15 @@ fn cmd_serve(args: &Args) {
 
     let listener =
         TcpListener::bind(addr).unwrap_or_else(|e| die(&format!("cannot bind {addr}: {e}")));
-    let config = ServerConfig { slow_query_ms, access_log, ..ServerConfig::with_workers(workers) };
+    let mut config =
+        ServerConfig { slow_query_ms, access_log, ..ServerConfig::with_workers(workers) };
+    if let Some(max) = max_connections {
+        config.max_connections = max.max(1);
+    }
+    if let Some(ms) = idle_timeout_ms {
+        config.idle_timeout = std::time::Duration::from_millis(ms.max(1));
+    }
+    config.reactor = !no_reactor;
     let handle = usi::server::serve(Arc::clone(&catalog), listener, config)
         .unwrap_or_else(|e| die(&format!("cannot start server: {e}")));
     eprintln!(
