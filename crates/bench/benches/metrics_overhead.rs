@@ -118,9 +118,37 @@ fn bench_metrics_overhead(c: &mut Criterion) {
         })
     });
 
+    // Flight-recorder A/B: same served path, measured back-to-back with
+    // full telemetry on. The `off` arm re-measures the default server
+    // (only errors are captured, and this workload has none); the `on`
+    // arm hits a second server with --flight-slow-ms 0, so every 200
+    // lands its whole stage tree in the flight ring. Both arms are
+    // annotation-only in ci/nightly-thresholds.json (`_`-prefixed keys,
+    // never gated) — they exist to make a flight-recorder regression
+    // visible in the nightly report, not to fail it.
+    group.bench_function("request_flight_off", |b| {
+        b.iter(|| {
+            round_trip(&mut stream, &requests[cursor % BODIES], &mut scratch);
+            cursor += 1;
+        })
+    });
+    let flight_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let flight_config = ServerConfig { flight_slow_ms: Some(0), ..ServerConfig::with_workers(2) };
+    let flight_handle = serve(Arc::clone(&catalog), flight_listener, flight_config).unwrap();
+    let mut flight_stream = TcpStream::connect(flight_handle.addr()).unwrap();
+    flight_stream.set_nodelay(true).unwrap();
+    group.bench_function("request_flight_on", |b| {
+        b.iter(|| {
+            round_trip(&mut flight_stream, &requests[cursor % BODIES], &mut scratch);
+            cursor += 1;
+        })
+    });
+
     group.finish();
     drop(stream);
+    drop(flight_stream);
     handle.shutdown();
+    flight_handle.shutdown();
 }
 
 criterion_group!(benches, bench_metrics_overhead);

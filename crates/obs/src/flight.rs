@@ -1,0 +1,200 @@
+//! The flight recorder: a bounded ring of complete stage trees for
+//! requests that were **slow or errored** — the requests worth a
+//! post-mortem.
+//!
+//! The span ring ([`crate::Tracer`]) sees every request and therefore
+//! forgets quickly under load; the flight recorder only admits requests
+//! the HTTP layer flags (duration ≥ `--flight-slow-ms`, or status ≥
+//! 400), so the interesting ones survive long enough for an operator to
+//! fetch them via `GET /debug/requests` or `GET /v1/trace/{trace_id}`.
+//!
+//! Each [`FlightRecord`] is self-contained: the root `http.request`
+//! span plus every stage span (queue-wait, parse, engine, serialize,
+//! write) with their starts, durations and fields — no joins against
+//! the span ring needed, and eviction there cannot truncate a recorded
+//! tree here.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::trace::{Span, TraceId};
+
+/// One slow or errored request: its identity, root span and complete
+/// stage breakdown.
+#[derive(Debug, Clone)]
+pub struct FlightRecord {
+    /// The request id (`X-Request-Id` / access-log `request_id`).
+    pub trace_id: TraceId,
+    /// The `http.request` root span (method, path, status fields).
+    pub root: Span,
+    /// Stage spans in recording order (queue, parse, engine, …).
+    pub stages: Vec<Span>,
+}
+
+/// A bounded ring of [`FlightRecord`]s. When full, the oldest record is
+/// evicted and counted in [`FlightRecorder::dropped`].
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: AtomicUsize,
+    ring: Mutex<VecDeque<FlightRecord>>,
+    dropped: AtomicU64,
+    /// Mirror of [`FlightRecorder::dropped`] in the metrics registry
+    /// (`usi_flight_dropped_total`), set once for the global recorder.
+    drop_counter: OnceLock<Arc<crate::Counter>>,
+}
+
+impl FlightRecorder {
+    /// Ring capacity of the process-global recorder ([`crate::flight()`]).
+    /// Records carry whole stage trees, so the ring is kept smaller
+    /// than the span ring.
+    pub const DEFAULT_CAPACITY: usize = 64;
+
+    /// A recorder holding at most `capacity` records (at least one).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: AtomicUsize::new(capacity.max(1)),
+            ring: Mutex::new(VecDeque::with_capacity(capacity.max(1))),
+            dropped: AtomicU64::new(0),
+            drop_counter: OnceLock::new(),
+        }
+    }
+
+    /// Current ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity.load(Ordering::Relaxed)
+    }
+
+    /// Resizes the ring, evicting oldest records if it shrinks below
+    /// its current length.
+    pub fn set_capacity(&self, capacity: usize) {
+        let capacity = capacity.max(1);
+        let mut ring = self.ring.lock().expect("flight lock poisoned");
+        self.capacity.store(capacity, Ordering::Relaxed);
+        while ring.len() > capacity {
+            ring.pop_front();
+            self.count_drop();
+        }
+    }
+
+    /// Publishes drops as a registry counter as well (the global
+    /// recorder wires `usi_flight_dropped_total` here).
+    pub fn set_drop_counter(&self, counter: Arc<crate::Counter>) {
+        let _ = self.drop_counter.set(counter);
+    }
+
+    fn count_drop(&self) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+        if let Some(counter) = self.drop_counter.get() {
+            counter.inc();
+        }
+    }
+
+    /// Admits a record, evicting the oldest if the ring is full. A
+    /// no-op while the global kill switch ([`crate::set_enabled`]) is
+    /// off.
+    pub fn record(&self, record: FlightRecord) {
+        if !crate::enabled() {
+            return;
+        }
+        let capacity = self.capacity.load(Ordering::Relaxed);
+        let mut ring = self.ring.lock().expect("flight lock poisoned");
+        if ring.len() == capacity {
+            ring.pop_front();
+            self.count_drop();
+        }
+        ring.push_back(record);
+    }
+
+    /// A non-destructive copy of the ring, oldest first.
+    pub fn snapshot(&self) -> Vec<FlightRecord> {
+        self.ring.lock().expect("flight lock poisoned").iter().cloned().collect()
+    }
+
+    /// Looks up one request by id — the fast path behind
+    /// `GET /v1/trace/{trace_id}`. Scans newest-first so a re-recorded
+    /// id (impossible in practice, ids are unique) would return the
+    /// latest tree.
+    pub fn find(&self, id: TraceId) -> Option<FlightRecord> {
+        self.ring
+            .lock()
+            .expect("flight lock poisoned")
+            .iter()
+            .rev()
+            .find(|r| r.trace_id == id)
+            .cloned()
+    }
+
+    /// Empties the ring (tests).
+    pub fn clear(&self) {
+        self.ring.lock().expect("flight lock poisoned").clear();
+    }
+
+    /// How many records have been evicted unseen since startup.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::SpanGuard;
+
+    fn record(name: &str) -> FlightRecord {
+        let id = TraceId::generate();
+        FlightRecord {
+            trace_id: id,
+            root: SpanGuard::start("http.request").trace(id).field("path", name).finish(),
+            stages: vec![
+                SpanGuard::start("parse").trace(id).parent("http.request").finish(),
+                SpanGuard::start("engine").trace(id).parent("http.request").finish(),
+            ],
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let recorder = FlightRecorder::new(2);
+        let a = record("/a");
+        let b = record("/b");
+        let c = record("/c");
+        let (ida, idb, idc) = (a.trace_id, b.trace_id, c.trace_id);
+        recorder.record(a);
+        recorder.record(b);
+        recorder.record(c);
+        let snap = recorder.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].trace_id, idb);
+        assert_eq!(snap[1].trace_id, idc);
+        assert_eq!(recorder.dropped(), 1);
+        assert!(recorder.find(ida).is_none(), "evicted record is gone");
+        let found = recorder.find(idc).expect("still resident");
+        assert_eq!(found.stages.len(), 2);
+    }
+
+    #[test]
+    fn set_capacity_shrinks_the_ring() {
+        let recorder = FlightRecorder::new(8);
+        for i in 0..8 {
+            recorder.record(record(&format!("/{i}")));
+        }
+        recorder.set_capacity(3);
+        assert_eq!(recorder.capacity(), 3);
+        assert_eq!(recorder.snapshot().len(), 3);
+        assert_eq!(recorder.dropped(), 5);
+    }
+
+    #[test]
+    fn records_are_self_contained_trees() {
+        let recorder = FlightRecorder::new(4);
+        let r = record("/slow");
+        let id = r.trace_id;
+        recorder.record(r);
+        let got = recorder.find(id).expect("recorded");
+        assert_eq!(got.root.name, "http.request");
+        assert!(got.root.trace_id == Some(id));
+        assert!(got.stages.iter().all(|s| s.trace_id == Some(id)));
+        assert!(got.stages.iter().all(|s| s.parent.as_deref() == Some("http.request")));
+    }
+}

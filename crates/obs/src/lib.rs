@@ -25,20 +25,30 @@
 //!   `metrics_overhead` bench isolates instrumentation cost.
 //! * [`Tracer`] keeps a bounded ring of recent [`Span`]s
 //!   (name, start, duration, free-form fields) drained via an endpoint
-//!   (`GET /v1/trace`) instead of pulling in a logging framework.
+//!   (`GET /v1/trace`) instead of pulling in a logging framework. Spans
+//!   carry a [`TraceId`] and parent so one request's stage tree can be
+//!   reassembled (`GET /v1/trace/{trace_id}`).
+//! * [`FlightRecorder`] keeps the complete stage tree of recent **slow
+//!   or errored** requests (`GET /debug/requests`) — the requests worth
+//!   a post-mortem survive even when the span ring has churned.
 //!
 //! The process-global entry points are [`global()`] (the registry every
-//! crate in the workspace registers into), [`tracer()`] and
-//! [`process_start()`] (the uptime epoch, pinned on first touch).
+//! crate in the workspace registers into), [`tracer()`], [`flight()`]
+//! and [`process_start()`] (the uptime epoch, pinned on first touch).
 
+pub mod flight;
 pub mod metrics;
 pub mod trace;
 
+pub use flight::{FlightRecord, FlightRecorder};
 pub use metrics::{
     default_latency_buckets, enabled, exponential_buckets, linear_buckets, set_enabled, Counter,
     CounterVec, Gauge, GaugeVec, Histogram, HistogramVec, Registry,
 };
-pub use trace::{Span, Tracer};
+pub use trace::{
+    begin_request, current_trace_id, end_request, record_stage, with_stages, Span, SpanGuard,
+    TraceId, Tracer,
+};
 
 use std::sync::OnceLock;
 use std::time::Instant;
@@ -50,10 +60,33 @@ pub fn global() -> &'static Registry {
     GLOBAL.get_or_init(Registry::new)
 }
 
-/// The process-global span tracer behind `GET /v1/trace`.
+/// The process-global span tracer behind `GET /v1/trace`. Evictions
+/// are mirrored to `usi_trace_dropped_total` in [`global()`].
 pub fn tracer() -> &'static Tracer {
     static TRACER: OnceLock<Tracer> = OnceLock::new();
-    TRACER.get_or_init(|| Tracer::new(Tracer::DEFAULT_CAPACITY))
+    TRACER.get_or_init(|| {
+        let tracer = Tracer::new(Tracer::DEFAULT_CAPACITY);
+        tracer.set_drop_counter(global().counter(
+            "usi_trace_dropped_total",
+            "Spans evicted unseen from the trace ring since startup",
+        ));
+        tracer
+    })
+}
+
+/// The process-global flight recorder behind `GET /debug/requests`.
+/// Evictions are mirrored to `usi_flight_dropped_total` in
+/// [`global()`].
+pub fn flight() -> &'static FlightRecorder {
+    static FLIGHT: OnceLock<FlightRecorder> = OnceLock::new();
+    FLIGHT.get_or_init(|| {
+        let recorder = FlightRecorder::new(FlightRecorder::DEFAULT_CAPACITY);
+        recorder.set_drop_counter(global().counter(
+            "usi_flight_dropped_total",
+            "Flight records evicted unseen from the recorder since startup",
+        ));
+        recorder
+    })
 }
 
 /// The uptime epoch: pinned the first time anything asks (the server

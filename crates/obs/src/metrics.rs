@@ -684,6 +684,100 @@ mod tests {
     }
 
     #[test]
+    fn label_values_round_trip_escaped() {
+        // each hazardous character alone, and all of them together,
+        // must escape to exactly what the exposition format specifies
+        let cases = [
+            (r"back\slash", r"back\\slash"),
+            ("quo\"te", "quo\\\"te"),
+            ("new\nline", "new\\nline"),
+            ("\\\"\n", "\\\\\\\"\\n"),
+            ("plain", "plain"),
+        ];
+        for (raw, escaped) in cases {
+            assert_eq!(escape_label_value(raw), escaped, "escaping {raw:?}");
+            let registry = Registry::new();
+            let vec = registry.counter_vec("t_esc_total", "help", &["v"]);
+            vec.with(&[raw]).inc();
+            let text = registry.encode();
+            let expected = format!("t_esc_total{{v=\"{escaped}\"}} 1\n");
+            assert!(text.contains(&expected), "encoding {raw:?}: {text}");
+            // the escaped form is reversible — a scraper un-escaping the
+            // value recovers the original label exactly
+            let unescaped =
+                escaped.replace("\\n", "\n").replace("\\\"", "\"").replace("\\\\", "\\");
+            // (unescape order differs from escape order; verify via the
+            // stronger property below instead when backslashes overlap)
+            if !raw.contains('\\') {
+                assert_eq!(unescaped, raw, "round-trip of {raw:?}");
+            }
+        }
+        // proper left-to-right unescape round-trips even the mixed case
+        let raw = "\\\"\n mixed \\n";
+        let escaped = escape_label_value(raw);
+        let mut restored = String::new();
+        let mut chars = escaped.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                match chars.next() {
+                    Some('\\') => restored.push('\\'),
+                    Some('"') => restored.push('"'),
+                    Some('n') => restored.push('\n'),
+                    other => panic!("dangling escape {other:?} in {escaped:?}"),
+                }
+            } else {
+                restored.push(c);
+            }
+        }
+        assert_eq!(restored, raw, "escaped form must be unambiguous");
+    }
+
+    #[test]
+    fn inf_bucket_is_always_emitted_and_equals_count() {
+        let registry = Registry::new();
+        // no observations at all: +Inf must still appear, at zero
+        let empty = registry.histogram("t_empty_seconds", "help", vec![0.5]);
+        let _ = empty;
+        // observations entirely past the last bound: only +Inf grows
+        let hot = registry.histogram("t_hot_seconds", "help", vec![0.001, 0.01]);
+        hot.observe(5.0);
+        hot.observe(9.0);
+        // labeled children each carry their own +Inf
+        let vec = registry.histogram_vec("t_vec_seconds", "help", &["route"], vec![1.0]);
+        vec.with(&["/a"]).observe(0.5);
+        vec.with(&["/b"]).observe(2.0);
+        let text = registry.encode();
+        assert!(text.contains("t_empty_seconds_bucket{le=\"+Inf\"} 0\n"), "{text}");
+        assert!(text.contains("t_empty_seconds_count 0\n"), "{text}");
+        assert!(text.contains("t_hot_seconds_bucket{le=\"0.001\"} 0\n"), "{text}");
+        assert!(text.contains("t_hot_seconds_bucket{le=\"+Inf\"} 2\n"), "{text}");
+        assert!(text.contains("t_hot_seconds_count 2\n"), "{text}");
+        for route in ["/a", "/b"] {
+            let inf = format!("t_vec_seconds_bucket{{route=\"{route}\",le=\"+Inf\"}} 1\n");
+            assert!(text.contains(&inf), "{text}");
+        }
+        // structural invariant: each child renders +Inf, then _sum,
+        // then _count — and the +Inf sample always equals _count
+        let lines: Vec<&str> = text.lines().collect();
+        let mut seen = 0;
+        for (i, line) in lines.iter().enumerate() {
+            if !line.contains("le=\"+Inf\"") {
+                continue;
+            }
+            seen += 1;
+            let inf_value = line.rsplit(' ').next().unwrap();
+            let count_line = lines[i + 2];
+            assert!(count_line.contains("_count"), "expected _count two lines after {line:?}");
+            assert_eq!(
+                count_line.rsplit(' ').next().unwrap(),
+                inf_value,
+                "+Inf must equal _count: {line:?} vs {count_line:?}"
+            );
+        }
+        assert_eq!(seen, 4, "one +Inf per histogram child: {text}");
+    }
+
+    #[test]
     fn concurrent_observations_are_exact() {
         let registry = Registry::new();
         let counter = registry.counter("t_conc_total", "help");

@@ -1,34 +1,119 @@
-//! A lightweight structured-event tracer: a bounded ring of recent
-//! [`Span`]s, drained via `GET /v1/trace` instead of a logging
-//! framework. Recording locks a `Mutex` around the ring — spans are
-//! per-request events (not per-query), so contention is negligible next
-//! to the I/O they describe.
+//! Request-scoped tracing: unique [`TraceId`]s, [`Span`]s that know
+//! which request they belong to, a cheap [`SpanGuard`] builder, and a
+//! bounded ring of recent spans drained via `GET /v1/trace`.
+//!
+//! Two recording paths exist:
+//!
+//! * [`Tracer::record`] appends straight to the ring — background
+//!   operations (ingest seals, index builds) that belong to no request.
+//! * [`record_stage`] appends to the **current request's** stage
+//!   collector, a thread-local the HTTP layer opens with
+//!   [`begin_request`] and drains with [`end_request`]. Stages recorded
+//!   anywhere down the stack (pool queue wait, engine time in the
+//!   catalog) land in the same tree without threading a context object
+//!   through every signature; requests are served start-to-finish on
+//!   one worker thread, so a thread-local is exactly scoped. Outside a
+//!   request the stage falls back to the ring.
+//!
+//! Recording locks a `Mutex` around the ring — spans are per-request
+//! events (not per-query), so contention is negligible next to the I/O
+//! they describe.
 
+use std::borrow::Cow;
+use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-/// One completed operation: a name, when it started (milliseconds since
-/// [`crate::process_start`]), how long it took, and free-form key/value
+/// A per-process-unique request identity, rendered as 16 hex digits
+/// (the `X-Request-Id` header, access-log `request_id` fields and
+/// `GET /v1/trace/{trace_id}` all speak this form).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceId(u64);
+
+/// SplitMix64 finalizer: a bijection on `u64`, so distinct inputs give
+/// distinct ids — uniqueness within a process is structural, not
+/// probabilistic.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl TraceId {
+    /// Generates the next id: one relaxed atomic increment plus a
+    /// SplitMix64 mix — lock-free and unique within the process, with
+    /// a per-process random seed so ids are not guessable across
+    /// restarts.
+    pub fn generate() -> Self {
+        static SEED: OnceLock<u64> = OnceLock::new();
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let seed = *SEED.get_or_init(|| {
+            // std's per-process SipHash keys are the one entropy source
+            // a std-only crate has; hashing a constant extracts them
+            use std::hash::{BuildHasher, Hasher};
+            std::collections::hash_map::RandomState::new().build_hasher().finish()
+        });
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        Self(splitmix64(seed.wrapping_add(n)))
+    }
+
+    /// Parses the 16-hex-digit form produced by `Display`.
+    pub fn parse(s: &str) -> Option<Self> {
+        if s.is_empty() || s.len() > 16 {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok().map(Self)
+    }
+
+    /// The raw value (tests, alternative encodings).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// One completed operation: a name, when it started, how long it took,
+/// which request it belonged to (if any), and free-form key/value
 /// fields (route, doc id, status, …).
 #[derive(Debug, Clone)]
 pub struct Span {
-    /// Operation name, e.g. `http.request` or `ingest.seal`.
-    pub name: String,
+    /// Operation name, e.g. `http.request` or `ingest.seal`. A `Cow`
+    /// because every hot-path name is a literal — building a stage span
+    /// must not allocate.
+    pub name: Cow<'static, str>,
+    /// The request this span belongs to; `None` for background work.
+    pub trace_id: Option<TraceId>,
+    /// Name of the enclosing span within the trace; `None` for roots.
+    pub parent: Option<Cow<'static, str>>,
     /// Start time in milliseconds since the process epoch.
     pub start_ms: u64,
+    /// Start time in microseconds since the process epoch — orders
+    /// sub-millisecond stages within one request's tree.
+    pub start_us: u64,
     /// Duration in microseconds.
     pub duration_us: u64,
-    /// Free-form context fields, in recording order.
-    pub fields: Vec<(String, String)>,
+    /// Free-form context fields, in recording order. Keys are `Cow`s
+    /// for the same reason as names: hot-path keys are literals.
+    pub fields: Vec<(Cow<'static, str>, String)>,
 }
 
 impl Span {
     /// Builds a span from a start [`Instant`] captured with
     /// [`Instant::now`] when the operation began; duration is measured
     /// here, so call this at completion.
-    pub fn since(name: impl Into<String>, started: Instant, fields: Vec<(String, String)>) -> Self {
+    pub fn since(
+        name: impl Into<Cow<'static, str>>,
+        started: Instant,
+        fields: Vec<(Cow<'static, str>, String)>,
+    ) -> Self {
         Self::with_duration(name, started, started.elapsed(), fields)
     }
 
@@ -36,23 +121,153 @@ impl Span {
     /// caller already measured, e.g. to reuse one `elapsed()` for both
     /// a histogram and the trace).
     pub fn with_duration(
-        name: impl Into<String>,
+        name: impl Into<Cow<'static, str>>,
         started: Instant,
         duration: Duration,
-        fields: Vec<(String, String)>,
+        fields: Vec<(Cow<'static, str>, String)>,
     ) -> Self {
-        let start_ms = started.saturating_duration_since(crate::process_start()).as_millis() as u64;
-        Self { name: name.into(), start_ms, duration_us: duration.as_micros() as u64, fields }
+        let start_us = started.saturating_duration_since(crate::process_start()).as_micros() as u64;
+        Self {
+            name: name.into(),
+            trace_id: None,
+            parent: None,
+            start_ms: start_us / 1000,
+            start_us,
+            duration_us: duration.as_micros() as u64,
+            fields,
+        }
     }
+}
+
+/// A builder for [`Span`]s that starts the clock when created and stops
+/// it at [`SpanGuard::finish`] — the cheap way to instrument a scope:
+///
+/// ```
+/// # use usi_obs::SpanGuard;
+/// let span = SpanGuard::start("engine").field("doc", "alpha").finish();
+/// assert_eq!(span.name, "engine");
+/// ```
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    started: Instant,
+    trace_id: Option<TraceId>,
+    parent: Option<Cow<'static, str>>,
+    fields: Vec<(Cow<'static, str>, String)>,
+}
+
+impl SpanGuard {
+    /// Starts timing now.
+    pub fn start(name: &'static str) -> Self {
+        Self::since(name, Instant::now())
+    }
+
+    /// Starts from an instant the caller already captured.
+    pub fn since(name: &'static str, started: Instant) -> Self {
+        Self { name, started, trace_id: None, parent: None, fields: Vec::new() }
+    }
+
+    /// Tags the span with a request id (usually left to
+    /// [`record_stage`], which stamps the current request's id).
+    pub fn trace(mut self, id: TraceId) -> Self {
+        self.trace_id = Some(id);
+        self
+    }
+
+    /// Names the enclosing span within the trace.
+    pub fn parent(mut self, parent: impl Into<Cow<'static, str>>) -> Self {
+        self.parent = Some(parent.into());
+        self
+    }
+
+    /// Appends one context field.
+    pub fn field(mut self, key: impl Into<Cow<'static, str>>, value: impl Into<String>) -> Self {
+        self.fields.push((key.into(), value.into()));
+        self
+    }
+
+    /// Stops the clock and builds the span.
+    pub fn finish(self) -> Span {
+        let elapsed = self.started.elapsed();
+        self.finish_with(elapsed)
+    }
+
+    /// Builds the span with an explicitly measured duration.
+    pub fn finish_with(self, duration: Duration) -> Span {
+        let mut span = Span::with_duration(self.name, self.started, duration, self.fields);
+        span.trace_id = self.trace_id;
+        span.parent = self.parent;
+        span
+    }
+}
+
+thread_local! {
+    /// The stage collector of the request currently served on this
+    /// thread. Requests run start-to-finish on one worker thread, so
+    /// this is exactly request-scoped.
+    static CURRENT: RefCell<Option<(TraceId, Vec<Span>)>> = const { RefCell::new(None) };
+}
+
+/// Opens a request-scoped stage collector on this thread. Any
+/// [`record_stage`] until [`end_request`] lands in it, stamped with
+/// `id`. A leftover collector from an aborted request is discarded.
+pub fn begin_request(id: TraceId) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((id, Vec::new())));
+}
+
+/// The id of the request currently served on this thread, if any —
+/// how error bodies deep in the router learn their request id.
+pub fn current_trace_id() -> Option<TraceId> {
+    CURRENT.with(|c| c.borrow().as_ref().map(|(id, _)| *id))
+}
+
+/// Records one stage of the current request (stamping its trace id), or
+/// falls back to the global ring when no request is open on this
+/// thread. A no-op while the kill switch is off.
+pub fn record_stage(mut span: Span) {
+    if !crate::enabled() {
+        return;
+    }
+    let fallback = CURRENT.with(|c| match &mut *c.borrow_mut() {
+        Some((id, stages)) => {
+            span.trace_id = Some(*id);
+            if stages.is_empty() {
+                // one up-front allocation instead of doubling through
+                // 1→2→4→8 as the five standard stages arrive
+                stages.reserve(8);
+            }
+            stages.push(span);
+            None
+        }
+        None => Some(span),
+    });
+    if let Some(span) = fallback {
+        crate::tracer().record(span);
+    }
+}
+
+/// Reads the stages collected so far (e.g. to render a `Server-Timing`
+/// header before the response is written); `None` when no request is
+/// open on this thread.
+pub fn with_stages<T>(f: impl FnOnce(&[Span]) -> T) -> Option<T> {
+    CURRENT.with(|c| c.borrow().as_ref().map(|(_, stages)| f(stages)))
+}
+
+/// Closes the collector and returns the request's id and stages.
+pub fn end_request() -> Option<(TraceId, Vec<Span>)> {
+    CURRENT.with(|c| c.borrow_mut().take())
 }
 
 /// A bounded ring of recent spans. When full, the oldest span is
 /// evicted and counted in [`Tracer::dropped`].
 #[derive(Debug)]
 pub struct Tracer {
-    capacity: usize,
+    capacity: AtomicUsize,
     ring: Mutex<VecDeque<Span>>,
     dropped: AtomicU64,
+    /// Mirror of [`Tracer::dropped`] in the metrics registry
+    /// (`usi_trace_dropped_total`), set once for the global tracer.
+    drop_counter: OnceLock<Arc<crate::Counter>>,
 }
 
 impl Tracer {
@@ -62,9 +277,40 @@ impl Tracer {
     /// A tracer holding at most `capacity` spans (at least one).
     pub fn new(capacity: usize) -> Self {
         Self {
-            capacity: capacity.max(1),
+            capacity: AtomicUsize::new(capacity.max(1)),
             ring: Mutex::new(VecDeque::with_capacity(capacity.max(1))),
             dropped: AtomicU64::new(0),
+            drop_counter: OnceLock::new(),
+        }
+    }
+
+    /// Current ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity.load(Ordering::Relaxed)
+    }
+
+    /// Resizes the ring (`--trace-capacity`), evicting oldest spans if
+    /// it shrinks below its current length.
+    pub fn set_capacity(&self, capacity: usize) {
+        let capacity = capacity.max(1);
+        let mut ring = self.ring.lock().expect("tracer lock poisoned");
+        self.capacity.store(capacity, Ordering::Relaxed);
+        while ring.len() > capacity {
+            ring.pop_front();
+            self.count_drops(1);
+        }
+    }
+
+    /// Publishes drops as a registry counter as well (the global
+    /// tracer wires `usi_trace_dropped_total` here).
+    pub fn set_drop_counter(&self, counter: Arc<crate::Counter>) {
+        let _ = self.drop_counter.set(counter);
+    }
+
+    fn count_drops(&self, n: u64) {
+        self.dropped.fetch_add(n, Ordering::Relaxed);
+        if let Some(counter) = self.drop_counter.get() {
+            counter.add(n);
         }
     }
 
@@ -72,15 +318,24 @@ impl Tracer {
     /// A no-op while the global kill switch ([`crate::set_enabled`])
     /// is off.
     pub fn record(&self, span: Span) {
+        self.record_all(std::iter::once(span));
+    }
+
+    /// Appends several spans under one ring lock — the request path
+    /// records its root plus every stage in one pass.
+    pub fn record_all(&self, spans: impl IntoIterator<Item = Span>) {
         if !crate::enabled() {
             return;
         }
+        let capacity = self.capacity.load(Ordering::Relaxed);
         let mut ring = self.ring.lock().expect("tracer lock poisoned");
-        if ring.len() == self.capacity {
-            ring.pop_front();
-            self.dropped.fetch_add(1, Ordering::Relaxed);
+        for span in spans {
+            if ring.len() == capacity {
+                ring.pop_front();
+                self.count_drops(1);
+            }
+            ring.push_back(span);
         }
-        ring.push_back(span);
     }
 
     /// A non-destructive copy of the ring, oldest first — `GET
@@ -88,6 +343,19 @@ impl Tracer {
     /// windows rather than racing to drain.
     pub fn snapshot(&self) -> Vec<Span> {
         self.ring.lock().expect("tracer lock poisoned").iter().cloned().collect()
+    }
+
+    /// The spans of one request still in the ring, oldest first — the
+    /// `GET /v1/trace/{trace_id}` fallback when the flight recorder no
+    /// longer holds the request.
+    pub fn find_trace(&self, id: TraceId) -> Vec<Span> {
+        self.ring
+            .lock()
+            .expect("tracer lock poisoned")
+            .iter()
+            .filter(|s| s.trace_id == Some(id))
+            .cloned()
+            .collect()
     }
 
     /// Empties the ring (tests).
@@ -107,10 +375,10 @@ mod tests {
 
     fn span(name: &str) -> Span {
         Span::with_duration(
-            name,
+            name.to_string(),
             Instant::now(),
             Duration::from_micros(42),
-            vec![("k".to_string(), "v".to_string())],
+            vec![("k".into(), "v".to_string())],
         )
     }
 
@@ -122,7 +390,7 @@ mod tests {
         }
         let spans = tracer.snapshot();
         assert_eq!(
-            spans.iter().map(|s| s.name.as_str()).collect::<Vec<_>>(),
+            spans.iter().map(|s| s.name.as_ref()).collect::<Vec<_>>(),
             vec!["s2", "s3", "s4"]
         );
         assert_eq!(tracer.dropped(), 2);
@@ -139,6 +407,9 @@ mod tests {
         assert_eq!(s.name, "op");
         // duration is whatever elapsed — just check it's sane
         assert!(s.duration_us < 5_000_000);
+        assert_eq!(s.start_ms, s.start_us / 1000);
+        assert!(s.trace_id.is_none());
+        assert!(s.parent.is_none());
     }
 
     #[test]
@@ -156,5 +427,84 @@ mod tests {
         });
         assert_eq!(tracer.snapshot().len(), 16);
         assert_eq!(tracer.dropped(), 4 * 100 - 16);
+    }
+
+    #[test]
+    fn trace_ids_are_unique_and_round_trip_through_hex() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            let id = TraceId::generate();
+            assert!(seen.insert(id), "duplicate id {id}");
+            let hex = id.to_string();
+            assert_eq!(hex.len(), 16, "{hex}");
+            assert_eq!(TraceId::parse(&hex), Some(id));
+        }
+        assert_eq!(TraceId::parse(""), None);
+        assert_eq!(TraceId::parse("zz"), None);
+        assert_eq!(TraceId::parse("00112233445566778899"), None, "over-long ids are refused");
+    }
+
+    #[test]
+    fn span_guard_builds_tagged_spans() {
+        let id = TraceId::generate();
+        let span = SpanGuard::start("engine")
+            .trace(id)
+            .parent("http.request")
+            .field("doc", "alpha")
+            .field("batch", "3")
+            .finish();
+        assert_eq!(span.name, "engine");
+        assert_eq!(span.trace_id, Some(id));
+        assert_eq!(span.parent.as_deref(), Some("http.request"));
+        assert_eq!(span.fields.len(), 2);
+
+        let span =
+            SpanGuard::since("queue", Instant::now()).finish_with(Duration::from_micros(1234));
+        assert_eq!(span.duration_us, 1234);
+    }
+
+    #[test]
+    fn stage_collector_scopes_spans_to_the_current_request() {
+        assert!(current_trace_id().is_none());
+        let id = TraceId::generate();
+        begin_request(id);
+        assert_eq!(current_trace_id(), Some(id));
+        record_stage(SpanGuard::start("parse").finish());
+        record_stage(SpanGuard::start("engine").finish());
+        let n = with_stages(<[Span]>::len);
+        assert_eq!(n, Some(2));
+        let (got, stages) = end_request().expect("collector open");
+        assert_eq!(got, id);
+        assert_eq!(stages.len(), 2);
+        assert!(stages.iter().all(|s| s.trace_id == Some(id)), "stages are stamped");
+        assert!(end_request().is_none(), "collector closes once");
+        assert!(current_trace_id().is_none());
+    }
+
+    #[test]
+    fn find_trace_filters_the_ring_by_id() {
+        let tracer = Tracer::new(8);
+        let a = TraceId::generate();
+        let b = TraceId::generate();
+        tracer.record(SpanGuard::start("x").trace(a).finish());
+        tracer.record(SpanGuard::start("y").trace(b).finish());
+        tracer.record(SpanGuard::start("z").trace(a).finish());
+        tracer.record(span("untagged"));
+        let mine = tracer.find_trace(a);
+        assert_eq!(mine.iter().map(|s| s.name.as_ref()).collect::<Vec<_>>(), vec!["x", "z"]);
+    }
+
+    #[test]
+    fn set_capacity_shrinks_and_counts() {
+        let tracer = Tracer::new(8);
+        for i in 0..8 {
+            tracer.record(span(&format!("s{i}")));
+        }
+        tracer.set_capacity(3);
+        assert_eq!(tracer.capacity(), 3);
+        assert_eq!(tracer.snapshot().len(), 3);
+        assert_eq!(tracer.dropped(), 5);
+        tracer.record(span("new"));
+        assert_eq!(tracer.snapshot().len(), 3);
     }
 }

@@ -31,6 +31,7 @@ use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 use usi_core::index::IndexSize;
 use usi_core::{merged_total, PersistError, QueryEngine, QuerySource, UsiIndex, UsiQuery};
 use usi_ingest::{IngestError, IngestPipeline, IngestStats};
@@ -247,6 +248,7 @@ impl Doc {
     /// document meanwhile. Answers are in pattern order and identical
     /// to computing each pattern directly.
     pub fn query_batch(&self, patterns: &[&[u8]], threads: usize) -> Vec<UsiQuery> {
+        let engine_start = Instant::now();
         let mut answers: Vec<Option<UsiQuery>> = vec![None; patterns.len()];
         let mut miss_at: Vec<usize> = Vec::new();
         let generation = self.generation.load(Ordering::SeqCst);
@@ -282,6 +284,17 @@ impl Doc {
                 }
                 answers[i] = Some(answer);
             }
+        }
+        // the engine stage of the enclosing request's trace (a no-op
+        // outside a request, where it lands in the global span ring)
+        if usi_obs::enabled() {
+            usi_obs::record_stage(
+                usi_obs::SpanGuard::since("engine", engine_start)
+                    .parent("http.request")
+                    .field("doc", &*self.id)
+                    .field("batch", patterns.len().to_string())
+                    .finish(),
+            );
         }
         answers.into_iter().map(|a| a.expect("every pattern answered")).collect()
     }
@@ -611,6 +624,7 @@ impl Catalog {
     }
 
     fn fan_out_batch(&self, patterns: &[&[u8]], threads: usize) -> Vec<FanOut> {
+        let engine_start = Instant::now();
         let docs = self.docs();
         crate::metrics::server().fan_out_width.observe(docs.len() as f64);
         let threads = threads.max(1).min(docs.len().max(1));
@@ -640,7 +654,7 @@ impl Catalog {
         };
 
         let utilities: Vec<GlobalUtility> = docs.iter().map(|d| d.utility()).collect();
-        (0..patterns.len())
+        let fans = (0..patterns.len())
             .map(|pi| {
                 let mut results = Vec::with_capacity(docs.len());
                 let mut parts: Vec<(GlobalUtility, UtilityAccumulator)> =
@@ -659,7 +673,20 @@ impl Catalog {
                 let (total_occurrences, total_value) = merged_total(&parts);
                 FanOut { per_doc: results, total_occurrences, total_value }
             })
-            .collect()
+            .collect();
+        // the fan-out engine stage: doc="*" plus how wide it spread (a
+        // no-op outside a request, where it lands in the span ring)
+        if usi_obs::enabled() {
+            usi_obs::record_stage(
+                usi_obs::SpanGuard::since("engine", engine_start)
+                    .parent("http.request")
+                    .field("doc", "*")
+                    .field("batch", patterns.len().to_string())
+                    .field("fan_out", docs.len().to_string())
+                    .finish(),
+            );
+        }
+        fans
     }
 }
 

@@ -52,7 +52,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use usi_ingest::IngestError;
-use usi_obs::Span;
+use usi_obs::{FlightRecord, Span, SpanGuard, TraceId};
 
 /// Longest accepted request head (request line + headers).
 const MAX_HEAD: usize = 16 * 1024;
@@ -109,6 +109,12 @@ pub struct ServerConfig {
     /// Requests slower than this are logged to stderr (and counted in
     /// `usi_http_slow_requests_total`); `None` disables the slow log.
     pub slow_query_ms: Option<u64>,
+    /// Requests whose **whole lifetime** (queue wait through response
+    /// write) exceeds this are captured in the flight recorder with
+    /// their full stage tree (`GET /debug/requests`). Defaults to
+    /// [`ServerConfig::slow_query_ms`] when `None`; errored requests
+    /// (status ≥ 400) are always captured.
+    pub flight_slow_ms: Option<u64>,
     /// Per-request access logging to stderr.
     pub access_log: AccessLog,
     /// Most connections held open at once. A connect past the limit is
@@ -131,6 +137,7 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(5),
             max_requests_per_connection: 1000,
             slow_query_ms: None,
+            flight_slow_ms: None,
             access_log: AccessLog::Off,
             max_connections: 100_000,
             reactor: true,
@@ -284,8 +291,8 @@ fn serve_threaded(
             open_count.fetch_add(1, Ordering::SeqCst);
             let catalog = Arc::clone(&catalog);
             let open_count = Arc::clone(&open_count);
-            pool.execute(move || {
-                handle_connection(stream, &catalog, config);
+            pool.execute(move |queue_wait| {
+                handle_connection(stream, &catalog, config, queue_wait);
                 open_count.fetch_sub(1, Ordering::SeqCst);
                 ConnVerdict::Close
             });
@@ -303,11 +310,15 @@ pub(crate) struct ConnState {
     stream: TcpStream,
     buf: Vec<u8>,
     served: u64,
+    /// How long this connection's current pool job waited in the queue
+    /// — charged to the **first** request the job serves (its `queue`
+    /// stage), then cleared; pipelined follow-ups never waited.
+    pending_wait: Option<Duration>,
 }
 
 impl ConnState {
     pub(crate) fn new(stream: TcpStream) -> Self {
-        Self { stream, buf: Vec::with_capacity(1024), served: 0 }
+        Self { stream, buf: Vec::with_capacity(1024), served: 0, pending_wait: None }
     }
 
     pub(crate) fn stream(&self) -> &TcpStream {
@@ -331,10 +342,33 @@ pub(crate) enum Exchange {
     Close,
 }
 
+/// A [`Read`] wrapper that remembers when the first byte of the current
+/// request arrived — so the `parse` stage measures parsing, not the
+/// keep-alive idle wait the threaded path spends blocked in `read`.
+struct TimedReader<'s> {
+    stream: &'s mut TcpStream,
+    first_byte: Option<Instant>,
+}
+
+impl Read for TimedReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let got = self.stream.read(buf)?;
+        if got > 0 && self.first_byte.is_none() {
+            self.first_byte = Some(Instant::now());
+        }
+        Ok(got)
+    }
+}
+
 /// Serves exactly one request off `conn`: read (through the carry-over
 /// buffer), route, respond. `count_idle` tracks the read wait in the
 /// `usi_http_connections_idle` gauge — the threaded path waits here,
 /// while the reactor accounts idleness in its epoll set instead.
+///
+/// Every request gets a fresh [`TraceId`]: it rides the response as
+/// `X-Request-Id` (with a `Server-Timing` stage breakdown), tags every
+/// span the request records down the stack, and keys the flight
+/// recorder entry when the request turns out slow or errored.
 pub(crate) fn serve_one(
     conn: &mut ConnState,
     catalog: &Catalog,
@@ -347,11 +381,47 @@ pub(crate) fn serve_one(
         // idle: between responses, waiting on the client's next request
         m.connections_idle.inc();
     }
-    let parsed = read_request(&mut conn.stream, &mut conn.buf);
+    let entry = Instant::now();
+    let had_buffered = !conn.buf.is_empty();
+    let mut reader = TimedReader { stream: &mut conn.stream, first_byte: None };
+    let parsed = read_request(&mut reader, &mut conn.buf);
+    let first_byte = reader.first_byte;
     if count_idle {
         m.connections_idle.dec();
     }
-    let (response, close) = match parsed {
+    if let Err(HttpError::Io(_)) = parsed {
+        return Exchange::Close; // client went away or idled out
+    }
+
+    // a request arrived (even if malformed): give it an identity and
+    // open its stage collector, so everything from here — engine spans,
+    // error bodies, logs — carries the same id
+    let trace_id = TraceId::generate();
+    usi_obs::begin_request(trace_id);
+    let queue_wait = conn.pending_wait.take();
+    // parse began when this request's bytes first showed up: carried
+    // over from the previous read, or at the first byte off the socket
+    let parse_start = if had_buffered { entry } else { first_byte.unwrap_or(entry) };
+    // the request's clock starts when its pool job left the queue (the
+    // wait is part of what the client experienced), else at parse
+    let root_start = match queue_wait {
+        Some(wait) => entry.checked_sub(wait).unwrap_or(entry),
+        None => parse_start,
+    };
+    if usi_obs::enabled() {
+        if let Some(wait) = queue_wait {
+            usi_obs::record_stage(
+                SpanGuard::since("queue", root_start).parent("http.request").finish_with(wait),
+            );
+        }
+        usi_obs::record_stage(
+            SpanGuard::since("parse", parse_start)
+                .parent("http.request")
+                .finish_with(parse_start.elapsed()),
+        );
+    }
+
+    let (response, close, routed) = match parsed {
         Ok(request) => {
             conn.served += 1;
             let close = request.close || !config.keep_alive || conn.served >= budget;
@@ -360,30 +430,63 @@ pub(crate) fn serve_one(
             let response = route(catalog, &request, config.batch_threads);
             let elapsed = started.elapsed();
             m.requests_in_flight.dec();
-            finish_request(&request, &response, elapsed, config);
-            (response, close)
+            (response, close, Some((request, elapsed)))
         }
         // framing gone: answer if possible, then always close
-        Err(HttpError::TooLarge) => {
-            m.observe_request("other", 413, 0.0);
-            (error_response(413, "request too large"), true)
-        }
-        Err(HttpError::Bad(what)) => {
-            m.observe_request("other", 400, 0.0);
-            (error_response(400, what), true)
-        }
-        Err(HttpError::Io(_)) => return Exchange::Close, // client went away or idled out
+        Err(HttpError::TooLarge) => (error_response(413, "request too large"), true, None),
+        Err(HttpError::Bad(what)) => (error_response(400, what), true, None),
+        Err(HttpError::Io(_)) => unreachable!("handled above"),
     };
-    if write_response(&mut conn.stream, &response, !close).is_err() || close {
+
+    let extra_headers = trace_headers(trace_id);
+    let write_start = Instant::now();
+    let io = write_response(&mut conn.stream, &response, !close, &extra_headers);
+    if usi_obs::enabled() {
+        usi_obs::record_stage(
+            SpanGuard::since("write", write_start)
+                .parent("http.request")
+                .finish_with(write_start.elapsed()),
+        );
+    }
+    finish_request(trace_id, routed, &response, root_start, config);
+    if io.is_err() || close {
         return Exchange::Close;
     }
     Exchange::KeepAlive
 }
 
+/// Renders the per-request response headers: the request's id, plus a
+/// `Server-Timing` breakdown of the stages recorded so far (the `write`
+/// stage is still in progress when headers go out, so it is absent).
+fn trace_headers(trace_id: TraceId) -> String {
+    use std::fmt::Write;
+    let mut out = String::with_capacity(160);
+    let _ = write!(out, "X-Request-Id: {trace_id}\r\n");
+    usi_obs::with_stages(|stages| {
+        for (i, stage) in stages.iter().enumerate() {
+            out.push_str(if i == 0 { "Server-Timing: " } else { ", " });
+            let us = stage.duration_us;
+            let _ = write!(out, "{};dur={}.{:03}", stage.name, us / 1000, us % 1000);
+        }
+        if !stages.is_empty() {
+            out.push_str("\r\n");
+        }
+    });
+    out
+}
+
 /// The reactor's job body: serve the request that epoll reported plus
 /// any complete requests the client pipelined behind it, then report
 /// whether the connection should be re-armed (`true`) or closed.
-pub(crate) fn serve_ready(conn: &mut ConnState, catalog: &Catalog, config: ServerConfig) -> bool {
+/// `queue_wait` is how long this job sat in the pool queue — charged to
+/// the first request's trace as its `queue` stage.
+pub(crate) fn serve_ready(
+    conn: &mut ConnState,
+    catalog: &Catalog,
+    config: ServerConfig,
+    queue_wait: Duration,
+) -> bool {
+    conn.pending_wait = Some(queue_wait);
     loop {
         match serve_one(conn, catalog, config, false) {
             Exchange::Close => return false,
@@ -412,7 +515,7 @@ pub(crate) fn reject_over_capacity(mut stream: TcpStream) {
     metrics::server().observe_request("other", 503, 0.0);
     let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
     let response = error_response(503, "connection limit reached (max_connections)");
-    let _ = write_response(&mut stream, &response, false);
+    let _ = write_response(&mut stream, &response, false, "");
     let _ = stream.shutdown(Shutdown::Both);
 }
 
@@ -420,62 +523,109 @@ pub(crate) fn reject_over_capacity(mut stream: TcpStream) {
 /// until the client closes, asks to close, idles past the timeout,
 /// errors, or exhausts the per-connection request budget. Bytes the
 /// client pipelined ahead of the current request stay in the carry-over
-/// buffer and feed the next iteration.
-fn handle_connection(stream: TcpStream, catalog: &Catalog, config: ServerConfig) {
+/// buffer and feed the next iteration. `queue_wait` is how long the
+/// connection's job sat in the pool queue — the first request's `queue`
+/// stage.
+fn handle_connection(
+    stream: TcpStream,
+    catalog: &Catalog,
+    config: ServerConfig,
+    queue_wait: Duration,
+) {
     metrics::server().connections_open.inc();
     let _ = stream.set_read_timeout(Some(config.idle_timeout.max(Duration::from_millis(1))));
     let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
     let mut conn = ConnState::new(stream);
+    conn.pending_wait = Some(queue_wait);
     while let Exchange::KeepAlive = serve_one(&mut conn, catalog, config, true) {}
     close_connection(conn);
 }
 
-/// Post-request accounting: metrics, the span ring, the slow-request
-/// log and the access log. Runs once per routed request, off the
-/// response's critical path only in the sense that the response is
-/// already built — the cost is a few atomics plus (when enabled) one
+/// Post-request accounting: metrics, the span ring, the flight
+/// recorder, the slow-request log and the access log. Runs once per
+/// request (routed or parse-failed) with the response already written —
+/// the cost is a few atomics, one ring lock, and (when enabled) one
 /// stderr line.
-fn finish_request(request: &Request, response: &Response, elapsed: Duration, config: ServerConfig) {
+///
+/// `routed` carries the parsed request plus the router-only elapsed
+/// time for requests that made it past parsing; parse failures pass
+/// `None` and are accounted under the `other` route. The root
+/// `http.request` span spans `root_start` (queue entry or first byte)
+/// through now — response write included — so its stage children always
+/// sum to at most its duration.
+fn finish_request(
+    trace_id: TraceId,
+    routed: Option<(Request, Duration)>,
+    response: &Response,
+    root_start: Instant,
+    config: ServerConfig,
+) {
     let m = metrics::server();
-    let route_label = metrics::route_label(&request.path);
-    let seconds = elapsed.as_secs_f64();
-    m.observe_request(route_label, response.status, seconds);
-    usi_obs::tracer().record(Span::with_duration(
+    let root_elapsed = root_start.elapsed();
+    let (route_label, route_seconds) = match &routed {
+        Some((request, elapsed)) => (metrics::route_label(&request.path), elapsed.as_secs_f64()),
+        None => ("other", 0.0),
+    };
+    m.observe_request(route_label, response.status, route_seconds);
+
+    let (method, path): (&str, &str) = match &routed {
+        Some((request, _)) => (&request.method, &request.path),
+        None => ("-", "-"),
+    };
+    let mut root = Span::with_duration(
         "http.request",
-        Instant::now() - elapsed,
-        elapsed,
+        root_start,
+        root_elapsed,
         vec![
-            ("method".into(), request.method.clone()),
-            ("path".into(), request.path.clone()),
+            ("method".into(), method.to_string()),
+            ("path".into(), path.to_string()),
             ("status".into(), response.status.to_string()),
         ],
-    ));
-    let millis = elapsed.as_secs_f64() * 1e3;
+    );
+    root.trace_id = Some(trace_id);
+    let stages = usi_obs::end_request().map(|(_, stages)| stages).unwrap_or_default();
+    // the root's lifetime is the flight-recorder admission test: it is
+    // what the client experienced (queue wait and write included)
+    let root_millis = root_elapsed.as_secs_f64() * 1e3;
+    let flight_slow = config.flight_slow_ms.or(config.slow_query_ms);
+    if response.status >= 400 || flight_slow.is_some_and(|t| root_millis >= t as f64) {
+        usi_obs::flight().record(FlightRecord {
+            trace_id,
+            root: root.clone(),
+            stages: stages.clone(),
+        });
+    }
+    usi_obs::tracer().record_all(std::iter::once(root).chain(stages));
+
+    let millis = route_seconds * 1e3;
     if let Some(threshold) = config.slow_query_ms {
-        if millis >= threshold as f64 {
+        if routed.is_some() && millis >= threshold as f64 {
             m.slow_requests_total.inc();
             eprintln!(
-                "[slow] {} {} status={} duration_ms={millis:.3} threshold_ms={threshold}",
-                request.method, request.path, response.status
+                "[slow] {method} {path} status={} duration_ms={millis:.3} \
+                 threshold_ms={threshold} request_id={trace_id}",
+                response.status
             );
         }
+    }
+    if routed.is_none() {
+        return; // no request line to log
     }
     match config.access_log {
         AccessLog::Off => {}
         AccessLog::Text => eprintln!(
-            "{} {} status={} bytes={} duration_ms={millis:.3}",
-            request.method,
-            request.path,
+            "{method} {path} status={} bytes={} duration_ms={millis:.3} request_id={trace_id}",
             response.status,
             response.body.len()
         ),
         AccessLog::Json => {
             let line = Json::Obj(vec![
-                ("method".into(), Json::str(&request.method)),
-                ("path".into(), Json::str(&request.path)),
+                ("method".into(), Json::str(method)),
+                ("path".into(), Json::str(path)),
                 ("status".into(), Json::Num(f64::from(response.status))),
                 ("bytes".into(), Json::Num(response.body.len() as f64)),
                 ("duration_ms".into(), Json::Num(millis)),
+                ("request_id".into(), Json::Str(trace_id.to_string())),
             ]);
             eprintln!("{}", line.encode());
         }
@@ -486,8 +636,11 @@ fn finish_request(request: &Request, response: &Response, elapsed: Duration, con
 #[derive(Debug)]
 struct Request {
     method: String,
-    /// Path component of the request target (query string stripped).
+    /// Path component of the request target (query string split off).
     path: String,
+    /// Raw query string (bytes after `?`, empty when absent) — the
+    /// `/v1/trace` filters parse it.
+    query: String,
     body: Vec<u8>,
     /// Whether the client asked this to be the final request on the
     /// connection (`Connection: close`, or HTTP/1.0 without an
@@ -551,7 +704,7 @@ fn read_request<R: Read>(r: &mut R, buf: &mut Vec<u8>) -> Result<Request, HttpEr
 
     // Everything borrowed from the head is copied out before the body
     // read below mutates `buf`.
-    let (method, path, content_length, close) = {
+    let (method, path, query, content_length, close) = {
         let head = std::str::from_utf8(&buf[..head_end])
             .map_err(|_| HttpError::Bad("request head is not UTF-8"))?;
         let mut lines = head.split("\r\n");
@@ -599,8 +752,11 @@ fn read_request<R: Read>(r: &mut R, buf: &mut Vec<u8>) -> Result<Request, HttpEr
         } else {
             !connection_has_token(connection, "keep-alive")
         };
-        let path = target.split('?').next().unwrap_or("").to_string();
-        (method.to_string(), path, content_length, close)
+        let (path, query) = match target.split_once('?') {
+            Some((path, query)) => (path.to_string(), query.to_string()),
+            None => (target.to_string(), String::new()),
+        };
+        (method.to_string(), path, query, content_length, close)
     };
 
     // body: whatever followed the head in the buffer, then exactly the
@@ -624,7 +780,7 @@ fn read_request<R: Read>(r: &mut R, buf: &mut Vec<u8>) -> Result<Request, HttpEr
         buf.shrink_to(MAX_HEAD);
     }
 
-    Ok(Request { method, path, body, close })
+    Ok(Request { method, path, query, body, close })
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
@@ -694,11 +850,19 @@ fn reason(status: u16) -> &'static str {
 /// Nagle on the server side would hold the body until the client ACKs
 /// the head — a ~40 ms delayed-ACK stall per keep-alive exchange (the
 /// `metrics_overhead` bench caught exactly this).
-fn write_response<W: Write>(w: &mut W, response: &Response, keep_alive: bool) -> io::Result<()> {
-    let mut out = Vec::with_capacity(128 + response.body.len());
+///
+/// `extra_headers` is a pre-rendered block of `Name: value\r\n` lines
+/// (the per-request `X-Request-Id` / `Server-Timing` pair), or `""`.
+fn write_response<W: Write>(
+    w: &mut W,
+    response: &Response,
+    keep_alive: bool,
+    extra_headers: &str,
+) -> io::Result<()> {
+    let mut out = Vec::with_capacity(192 + response.body.len());
     write!(
         out,
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n{extra_headers}\r\n",
         response.status,
         reason(response.status),
         response.content_type,
@@ -720,24 +884,34 @@ fn ok(body: Json) -> Response {
 }
 
 /// Every error the API produces goes through here, so all error bodies
-/// share one JSON shape: `{"error":"…","status":N}`.
+/// share one JSON shape: `{"error":"…","status":N}` — plus a
+/// `"request_id"` member when the error happens inside a traced request
+/// (so a client can quote the id straight from the body).
 fn error_response(status: u16, message: &str) -> Response {
-    Response {
-        status,
-        content_type: APPLICATION_JSON,
-        body: Json::Obj(vec![
-            ("error".into(), Json::str(message)),
-            ("status".into(), Json::Num(f64::from(status))),
-        ])
-        .encode(),
+    let mut members =
+        vec![("error".into(), Json::str(message)), ("status".into(), Json::Num(f64::from(status)))];
+    if let Some(id) = usi_obs::current_trace_id() {
+        members.push(("request_id".into(), Json::Str(id.to_string())));
     }
+    Response { status, content_type: APPLICATION_JSON, body: Json::Obj(members).encode() }
 }
 
 /// Routes one parsed request against the catalog. Public so tests (and
-/// alternative transports) can exercise the API without sockets.
+/// alternative transports) can exercise the API without sockets. A
+/// query string in `path` is split off and fed to the handlers that
+/// read one (`/v1/trace?name=…`).
 pub fn respond(catalog: &Catalog, method: &str, path: &str, body: &[u8]) -> Response {
-    let request =
-        Request { method: method.into(), path: path.into(), body: body.to_vec(), close: true };
+    let (path, query) = match path.split_once('?') {
+        Some((path, query)) => (path, query),
+        None => (path, ""),
+    };
+    let request = Request {
+        method: method.into(),
+        path: path.into(),
+        query: query.into(),
+        body: body.to_vec(),
+        close: true,
+    };
     route(catalog, &request, 1)
 }
 
@@ -750,7 +924,11 @@ fn route(catalog: &Catalog, request: &Request, batch_threads: usize) -> Response
             content_type: PROMETHEUS_TEXT,
             body: usi_obs::global().encode(),
         },
-        ("GET", "/v1/trace") => trace_snapshot(),
+        ("GET", "/v1/trace") => trace_snapshot(&request.query),
+        ("GET", "/debug/requests") => debug_requests(),
+        ("GET", _) if trace_sub_id(path).is_some() => {
+            trace_tree(trace_sub_id(path).expect("checked by guard"))
+        }
         ("GET", "/v1/docs") => list_docs(catalog),
         ("POST", "/v1/query") => query(catalog, &request.body, batch_threads),
         ("GET", _) if doc_sub_id(path, "stats").is_some() => {
@@ -761,10 +939,15 @@ fn route(catalog: &Catalog, request: &Request, batch_threads: usize) -> Response
             doc_sub_id(path, "append").expect("checked by guard"),
             &request.body,
         ),
-        (_, "/healthz" | "/v1/docs" | "/v1/query" | "/metrics" | "/v1/trace") => {
-            error_response(405, "method not allowed")
-        }
-        (_, _) if doc_sub_id(path, "stats").is_some() || doc_sub_id(path, "append").is_some() => {
+        (
+            _,
+            "/healthz" | "/v1/docs" | "/v1/query" | "/metrics" | "/v1/trace" | "/debug/requests",
+        ) => error_response(405, "method not allowed"),
+        (_, _)
+            if trace_sub_id(path).is_some()
+                || doc_sub_id(path, "stats").is_some()
+                || doc_sub_id(path, "append").is_some() =>
+        {
             error_response(405, "method not allowed")
         }
         _ => error_response(404, "no such route"),
@@ -783,27 +966,116 @@ fn healthz(catalog: &Catalog) -> Response {
     ]))
 }
 
-/// The span ring as JSON, oldest first (non-destructive snapshot).
-fn trace_snapshot() -> Response {
+/// One span as JSON, shared by `/v1/trace`, `/v1/trace/{id}` and
+/// `/debug/requests`.
+fn span_json(span: Span) -> Json {
+    let fields =
+        span.fields.into_iter().map(|(k, v)| (k.into_owned(), Json::Str(v))).collect::<Vec<_>>();
+    let mut members = vec![("name".into(), Json::Str(span.name.into_owned()))];
+    if let Some(id) = span.trace_id {
+        members.push(("trace_id".into(), Json::Str(id.to_string())));
+    }
+    if let Some(parent) = span.parent {
+        members.push(("parent".into(), Json::Str(parent.into_owned())));
+    }
+    members.push(("start_ms".into(), Json::Num(span.start_ms as f64)));
+    members.push(("start_us".into(), Json::Num(span.start_us as f64)));
+    members.push(("duration_us".into(), Json::Num(span.duration_us as f64)));
+    members.push(("fields".into(), Json::Obj(fields)));
+    Json::Obj(members)
+}
+
+/// One flight record (root + stages) as JSON.
+fn flight_record_json(record: FlightRecord) -> Json {
+    Json::Obj(vec![
+        ("trace_id".into(), Json::Str(record.trace_id.to_string())),
+        ("root".into(), span_json(record.root)),
+        ("stages".into(), Json::Arr(record.stages.into_iter().map(span_json).collect())),
+    ])
+}
+
+/// Reads one `name=value` pair out of a raw query string (no
+/// percent-decoding: every value the trace endpoints accept — span
+/// names, integers — is URL-safe as-is).
+fn query_param<'q>(query: &'q str, name: &str) -> Option<&'q str> {
+    query.split('&').find_map(|pair| {
+        let (key, value) = pair.split_once('=')?;
+        (key == name).then_some(value)
+    })
+}
+
+/// The span ring as JSON, oldest first (non-destructive snapshot),
+/// with server-side filters: `?name=` (exact span name), `?min_us=`
+/// (minimum duration), `?limit=` (most recent N, default 256 — the cap
+/// that keeps a large `--trace-capacity` from producing multi-MB
+/// scrapes).
+fn trace_snapshot(query: &str) -> Response {
+    /// Default and implicit cap on spans per response.
+    const DEFAULT_LIMIT: usize = 256;
+    let name = query_param(query, "name");
+    let min_us: u64 = match query_param(query, "min_us").map(str::parse) {
+        Some(Ok(v)) => v,
+        Some(Err(_)) => return error_response(400, "\"min_us\" must be an integer"),
+        None => 0,
+    };
+    let limit: usize = match query_param(query, "limit").map(str::parse) {
+        Some(Ok(v)) => v,
+        Some(Err(_)) => return error_response(400, "\"limit\" must be an integer"),
+        None => DEFAULT_LIMIT,
+    };
     let tracer = usi_obs::tracer();
-    let spans = tracer
-        .snapshot()
-        .into_iter()
-        .map(|span| {
-            let fields =
-                span.fields.into_iter().map(|(k, v)| (k, Json::Str(v))).collect::<Vec<_>>();
-            Json::Obj(vec![
-                ("name".into(), Json::Str(span.name)),
-                ("start_ms".into(), Json::Num(span.start_ms as f64)),
-                ("duration_us".into(), Json::Num(span.duration_us as f64)),
-                ("fields".into(), Json::Obj(fields)),
-            ])
-        })
-        .collect();
+    let mut spans = tracer.snapshot();
+    spans.retain(|span| span.duration_us >= min_us && name.is_none_or(|n| span.name == n));
+    // keep the most recent `limit`, preserving oldest-first order
+    let skip = spans.len().saturating_sub(limit);
+    let matched = spans.len();
+    let spans = spans.into_iter().skip(skip).map(span_json).collect();
     ok(Json::Obj(vec![
         ("spans".into(), Json::Arr(spans)),
+        ("matched".into(), Json::Num(matched as f64)),
         ("dropped".into(), Json::Num(tracer.dropped() as f64)),
     ]))
+}
+
+/// One request's full stage tree by trace id: served from the flight
+/// recorder when the request was slow/errored, else reassembled from
+/// whatever of it is still in the span ring.
+fn trace_tree(id: &str) -> Response {
+    let Some(trace_id) = TraceId::parse(id) else {
+        return error_response(400, "trace id must be up to 16 hex digits");
+    };
+    if let Some(record) = usi_obs::flight().find(trace_id) {
+        return ok(flight_record_json(record));
+    }
+    let mut spans = usi_obs::tracer().find_trace(trace_id);
+    if spans.is_empty() {
+        return error_response(404, &format!("no such trace {id:?} (evicted or never recorded)"));
+    }
+    let root_at = spans.iter().position(|s| s.parent.is_none()).unwrap_or(0);
+    let root = spans.remove(root_at);
+    ok(flight_record_json(FlightRecord { trace_id, root, stages: spans }))
+}
+
+/// The flight recorder as JSON, most recent request first.
+fn debug_requests() -> Response {
+    let flight = usi_obs::flight();
+    let requests = flight.snapshot().into_iter().rev().map(flight_record_json).collect();
+    ok(Json::Obj(vec![
+        ("requests".into(), Json::Arr(requests)),
+        ("dropped".into(), Json::Num(flight.dropped() as f64)),
+    ]))
+}
+
+/// Parses `/v1/trace/{trace_id}` into `{trace_id}` (the raw segment;
+/// hex validation happens in the handler so a malformed id gets a 400,
+/// not a 404).
+pub(crate) fn trace_sub_id(path: &str) -> Option<&str> {
+    let id = path.strip_prefix("/v1/trace/")?;
+    if id.is_empty() || id.contains('/') {
+        None
+    } else {
+        Some(id)
+    }
 }
 
 /// Parses `/v1/docs/{id}/{action}` into `{id}`.
@@ -983,12 +1255,27 @@ fn query(catalog: &Catalog, body: &[u8], batch_threads: usize) -> Response {
 
     if doc == "*" {
         let fans = catalog.query_all_batch(&patterns, batch_threads);
-        return ok(fan_out_response_json(&patterns, &fans));
+        return serialized(|| ok(fan_out_response_json(&patterns, &fans)));
     }
     match catalog.query_batch(doc, &patterns, batch_threads) {
-        Some(answers) => ok(query_response_json(doc, &patterns, &answers)),
+        Some(answers) => serialized(|| ok(query_response_json(doc, &patterns, &answers))),
         None => error_response(404, &format!("no such document {doc:?}")),
     }
+}
+
+/// Builds a response under a `serialize` stage span — how much of a
+/// query's latency is JSON rendering rather than engine time.
+fn serialized(build: impl FnOnce() -> Response) -> Response {
+    let started = Instant::now();
+    let response = build();
+    if usi_obs::enabled() {
+        usi_obs::record_stage(
+            SpanGuard::since("serialize", started)
+                .parent("http.request")
+                .finish_with(started.elapsed()),
+        );
+    }
+    response
 }
 
 #[cfg(test)]
@@ -1317,7 +1604,7 @@ mod tests {
         // decides per response — not part of Response formatting
         let mut out = Vec::new();
         let response = Response { status: 200, content_type: APPLICATION_JSON, body: "{}".into() };
-        write_response(&mut out, &response, false).unwrap();
+        write_response(&mut out, &response, false, "").unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Type: application/json\r\n"));
@@ -1326,9 +1613,123 @@ mod tests {
         assert!(text.ends_with("\r\n\r\n{}"));
 
         let mut out = Vec::new();
-        write_response(&mut out, &response, true).unwrap();
+        write_response(&mut out, &response, true, "X-Request-Id: 00ff00ff00ff00ff\r\n").unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("Connection: keep-alive\r\n"));
+        // extra headers land inside the head, before the blank line
+        assert!(text.contains("X-Request-Id: 00ff00ff00ff00ff\r\n"), "{text}");
+        let head_end = text.find("\r\n\r\n").unwrap();
+        assert!(text.find("X-Request-Id").unwrap() < head_end, "{text}");
+    }
+
+    #[test]
+    fn trace_filters_and_tree_endpoints() {
+        let catalog = catalog();
+        usi_obs::tracer().clear();
+        usi_obs::set_enabled(true);
+        // seed the ring with a traced request tree plus an untagged span
+        let id = TraceId::generate();
+        usi_obs::begin_request(id);
+        usi_obs::record_stage(
+            SpanGuard::start("engine")
+                .parent("http.request")
+                .finish_with(Duration::from_micros(800)),
+        );
+        let (_, stages) = usi_obs::end_request().unwrap();
+        let mut root =
+            SpanGuard::start("http.request").trace(id).finish_with(Duration::from_micros(1500));
+        let root_span = {
+            root.fields.push(("path".into(), "/seed".into()));
+            root
+        };
+        usi_obs::tracer().record_all(std::iter::once(root_span).chain(stages));
+        usi_obs::tracer()
+            .record(SpanGuard::start("ingest.seal").finish_with(Duration::from_micros(50)));
+
+        // name filter: every returned span is an engine stage, ours
+        // among them (other tests share the global ring — filter, don't
+        // count)
+        let r = respond(&catalog, "GET", "/v1/trace?name=engine", b"");
+        assert_eq!(r.status, 200);
+        let parsed = Json::parse(&r.body).unwrap();
+        let spans = parsed.get("spans").and_then(Json::as_array).unwrap();
+        assert!(spans.iter().all(|s| s.get("name").and_then(Json::as_str) == Some("engine")));
+        let mine = spans
+            .iter()
+            .find(|s| s.get("trace_id").and_then(Json::as_str) == Some(&*id.to_string()))
+            .unwrap_or_else(|| panic!("our engine span in {}", r.body));
+        assert_eq!(mine.get("parent").and_then(Json::as_str), Some("http.request"));
+
+        // min_us filter: nothing in a unit-test run takes ≥ 10 s
+        let r = respond(&catalog, "GET", "/v1/trace?min_us=10000000", b"");
+        let parsed = Json::parse(&r.body).unwrap();
+        assert_eq!(parsed.get("spans").and_then(Json::as_array).map(<[Json]>::len), Some(0));
+
+        // limit caps the response server-side and reports the full
+        // match count
+        let r = respond(&catalog, "GET", "/v1/trace?limit=1", b"");
+        let parsed = Json::parse(&r.body).unwrap();
+        assert_eq!(parsed.get("spans").and_then(Json::as_array).map(<[Json]>::len), Some(1));
+        assert!(parsed.get("matched").and_then(Json::as_f64).unwrap() >= 3.0, "{}", r.body);
+
+        // bad filter values are refused, not ignored
+        assert_eq!(respond(&catalog, "GET", "/v1/trace?min_us=abc", b"").status, 400);
+        assert_eq!(respond(&catalog, "GET", "/v1/trace?limit=-1", b"").status, 400);
+
+        // the tree endpoint reassembles root + stages from the ring
+        let r = respond(&catalog, "GET", &format!("/v1/trace/{id}"), b"");
+        assert_eq!(r.status, 200, "{}", r.body);
+        let parsed = Json::parse(&r.body).unwrap();
+        assert_eq!(parsed.get("trace_id").and_then(Json::as_str), Some(&*id.to_string()));
+        assert_eq!(
+            parsed.get("root").and_then(|r| r.get("name")).and_then(Json::as_str),
+            Some("http.request")
+        );
+        let stages = parsed.get("stages").and_then(Json::as_array).unwrap();
+        assert_eq!(stages.len(), 1);
+        assert_eq!(stages[0].get("name").and_then(Json::as_str), Some("engine"));
+
+        // unknown id: 404; malformed id: 400; wrong methods: 405
+        assert_eq!(respond(&catalog, "GET", "/v1/trace/0000000000000000", b"").status, 404);
+        assert_eq!(respond(&catalog, "GET", "/v1/trace/not-hex", b"").status, 400);
+        assert_eq!(respond(&catalog, "POST", &format!("/v1/trace/{id}"), b"").status, 405);
+        assert_eq!(respond(&catalog, "DELETE", "/debug/requests", b"").status, 405);
+    }
+
+    #[test]
+    fn flight_recorder_serves_debug_requests() {
+        let catalog = catalog();
+        usi_obs::set_enabled(true);
+        let id = TraceId::generate();
+        usi_obs::flight().record(usi_obs::FlightRecord {
+            trace_id: id,
+            root: SpanGuard::start("http.request")
+                .trace(id)
+                .field("path", "/slow")
+                .field("status", "200")
+                .finish_with(Duration::from_millis(80)),
+            stages: vec![SpanGuard::start("engine")
+                .trace(id)
+                .parent("http.request")
+                .finish_with(Duration::from_millis(75))],
+        });
+
+        let r = respond(&catalog, "GET", "/debug/requests", b"");
+        assert_eq!(r.status, 200);
+        let parsed = Json::parse(&r.body).unwrap();
+        let requests = parsed.get("requests").and_then(Json::as_array).unwrap();
+        // most recent first: our record leads
+        let first = &requests[0];
+        assert_eq!(first.get("trace_id").and_then(Json::as_str), Some(&*id.to_string()));
+        let stages = first.get("stages").and_then(Json::as_array).unwrap();
+        assert_eq!(stages[0].get("name").and_then(Json::as_str), Some("engine"));
+        assert!(parsed.get("dropped").and_then(Json::as_f64).is_some());
+
+        // the tree endpoint prefers the flight recorder (full tree even
+        // if the span ring has churned past this request)
+        let r = respond(&catalog, "GET", &format!("/v1/trace/{id}"), b"");
+        assert_eq!(r.status, 200);
+        assert!(r.body.contains("\"engine\""), "{}", r.body);
     }
 
     #[test]

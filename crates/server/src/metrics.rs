@@ -24,6 +24,8 @@ const ROUTES: &[&str] = &[
     "/v1/query",
     "/metrics",
     "/v1/trace",
+    "/v1/trace/{trace_id}",
+    "/debug/requests",
     "other",
 ];
 
@@ -52,6 +54,13 @@ pub(crate) struct ServerMetrics {
     pub pool_in_flight: Arc<Gauge>,
     pub pool_jobs_total: Arc<Counter>,
     pub pool_saturation_total: Arc<Counter>,
+    /// `usi_pool_queue_wait_seconds` — how long each job sat queued
+    /// before a worker picked it up (the `queue` stage of a trace).
+    pub pool_queue_wait: Arc<Histogram>,
+    /// `usi_reactor_dispatch_seconds` — reactor dispatch of a readable
+    /// connection to its job starting on a worker (queue wait plus
+    /// submit overhead, as the reactor experiences it).
+    pub reactor_dispatch_seconds: Arc<Histogram>,
     /// `usi_doc_queries_total{doc}` — resolved per [`crate::Doc`] at
     /// registration, not per query.
     pub doc_queries: CounterVec,
@@ -123,6 +132,17 @@ impl ServerMetrics {
                 "usi_pool_saturation_total",
                 "Jobs submitted while every pool worker was already busy",
             ),
+            pool_queue_wait: registry.histogram(
+                "usi_pool_queue_wait_seconds",
+                "Time a job waited in the pool queue before a worker picked it up",
+                default_latency_buckets(),
+            ),
+            reactor_dispatch_seconds: registry.histogram(
+                "usi_reactor_dispatch_seconds",
+                "Time from reactor dispatch of a readable connection to its \
+                 job starting on a worker",
+                default_latency_buckets(),
+            ),
             doc_queries: registry.counter_vec(
                 "usi_doc_queries_total",
                 "Patterns answered, by document",
@@ -180,9 +200,10 @@ pub(crate) fn server() -> &'static ServerMetrics {
 /// their template, everything else to `other`.
 pub(crate) fn route_label(path: &str) -> &'static str {
     match path {
-        "/healthz" | "/v1/docs" | "/v1/query" | "/metrics" | "/v1/trace" => {
+        "/healthz" | "/v1/docs" | "/v1/query" | "/metrics" | "/v1/trace" | "/debug/requests" => {
             ROUTES[ServerMetrics::route_index(path)]
         }
+        _ if crate::http::trace_sub_id(path).is_some() => "/v1/trace/{trace_id}",
         _ if crate::http::doc_sub_route(path, "stats") => "/v1/docs/{id}/stats",
         _ if crate::http::doc_sub_route(path, "append") => "/v1/docs/{id}/append",
         _ => "other",
@@ -201,7 +222,11 @@ mod tests {
         assert_eq!(route_label("/v1/docs/abc/append"), "/v1/docs/{id}/append");
         assert_eq!(route_label("/v1/docs/a/b/stats"), "other");
         assert_eq!(route_label("/nope"), "other");
-        for path in ["/healthz", "/v1/docs/x/stats", "/weird"] {
+        assert_eq!(route_label("/v1/trace/00ff00ff00ff00ff"), "/v1/trace/{trace_id}");
+        assert_eq!(route_label("/v1/trace/"), "other");
+        assert_eq!(route_label("/debug/requests"), "/debug/requests");
+        for path in ["/healthz", "/v1/docs/x/stats", "/weird", "/v1/trace/1234", "/debug/requests"]
+        {
             assert!(ROUTES.contains(&route_label(path)));
         }
     }

@@ -11,12 +11,17 @@
 //! gauges capacity planning needs: `usi_pool_queue_depth` (submitted,
 //! not yet picked up), `usi_pool_jobs_in_flight`, and
 //! `usi_pool_saturation_total` (jobs submitted while every worker was
-//! busy — each one waited).
+//! busy — each one waited). Each job is stamped at enqueue and its
+//! wait measured when a worker picks it up
+//! (`usi_pool_queue_wait_seconds`); the wait is passed into the job so
+//! the request path can surface it as the `queue` stage of the
+//! request's trace.
 
 use crate::metrics;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// What a connection job decided about its socket. The job has already
 /// **enacted** the decision by the time it returns — sent the connection
@@ -34,18 +39,21 @@ pub enum ConnVerdict {
     Close,
 }
 
-type Job = Box<dyn FnOnce() -> ConnVerdict + Send + 'static>;
+/// A queued connection job. The [`Duration`] argument is how long the
+/// job sat in the pool queue before a worker picked it up — the
+/// request path records it as the `queue` stage of its trace.
+type Job = Box<dyn FnOnce(Duration) -> ConnVerdict + Send + 'static>;
 
 /// A fixed-size pool of named worker threads.
 pub struct WorkerPool {
-    sender: Option<Sender<Job>>,
+    sender: Option<Sender<(Instant, Job)>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl WorkerPool {
     /// Spawns `size` workers (clamped to ≥ 1).
     pub fn new(size: usize) -> Self {
-        let (sender, receiver) = channel::<Job>();
+        let (sender, receiver) = channel::<(Instant, Job)>();
         let receiver = Arc::new(Mutex::new(receiver));
         let workers = (0..size.max(1))
             .map(|i| {
@@ -64,9 +72,10 @@ impl WorkerPool {
         self.workers.len()
     }
 
-    /// Queues one job; some idle worker will run it. Jobs submitted
-    /// after shutdown began are silently dropped.
-    pub fn execute(&self, job: impl FnOnce() -> ConnVerdict + Send + 'static) {
+    /// Queues one job; some idle worker will run it, passing the time
+    /// the job waited in the queue. Jobs submitted after shutdown began
+    /// are silently dropped.
+    pub fn execute(&self, job: impl FnOnce(Duration) -> ConnVerdict + Send + 'static) {
         if let Some(sender) = &self.sender {
             let m = metrics::server();
             m.pool_jobs_total.inc();
@@ -75,14 +84,14 @@ impl WorkerPool {
             }
             m.pool_queue_depth.inc();
             // send only fails when every worker is gone (shutdown race)
-            if sender.send(Box::new(job)).is_err() {
+            if sender.send((Instant::now(), Box::new(job))).is_err() {
                 m.pool_queue_depth.dec();
             }
         }
     }
 }
 
-fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
+fn worker_loop(receiver: &Mutex<Receiver<(Instant, Job)>>) {
     let m = metrics::server();
     loop {
         // hold the lock only to pull the next job, not to run it
@@ -91,11 +100,13 @@ fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
             Err(_) => return,
         };
         match job {
-            Ok(job) => {
+            Ok((enqueued, job)) => {
+                let queue_wait = enqueued.elapsed();
+                m.pool_queue_wait.observe(queue_wait.as_secs_f64());
                 m.pool_queue_depth.dec();
                 m.pool_in_flight.inc();
                 // the verdict was enacted inside the job (see ConnVerdict)
-                let _verdict = job();
+                let _verdict = job(queue_wait);
                 m.pool_in_flight.dec();
             }
             Err(_) => return, // channel disconnected: shutdown
@@ -124,7 +135,8 @@ mod tests {
         let counter = Arc::new(AtomicUsize::new(0));
         for _ in 0..100 {
             let counter = Arc::clone(&counter);
-            pool.execute(move || {
+            pool.execute(move |queue_wait| {
+                assert!(queue_wait < Duration::from_secs(60), "wait is sane");
                 counter.fetch_add(1, Ordering::SeqCst);
                 ConnVerdict::Close
             });
@@ -139,7 +151,7 @@ mod tests {
         assert_eq!(pool.size(), 1);
         let ran = Arc::new(AtomicUsize::new(0));
         let flag = Arc::clone(&ran);
-        pool.execute(move || {
+        pool.execute(move |_| {
             flag.store(7, Ordering::SeqCst);
             ConnVerdict::Close
         });

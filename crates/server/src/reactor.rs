@@ -430,14 +430,19 @@ mod imp {
             self.submit(parked.conn);
         }
 
-        /// Queues the serve job for a readable connection.
+        /// Queues the serve job for a readable connection, stamping the
+        /// dispatch time so the lag between the reactor seeing
+        /// readiness and a worker picking the job up is measured
+        /// (`usi_reactor_dispatch_seconds`).
         fn submit(&self, mut conn: ConnState) {
             let m = metrics::server();
             m.reactor_runq.inc();
             let shared = Arc::clone(&self.shared);
-            self.pool.execute(move || {
+            let dispatched = Instant::now();
+            self.pool.execute(move |queue_wait| {
                 let m = metrics::server();
-                let keep = serve_ready(&mut conn, &shared.catalog, shared.config);
+                m.reactor_dispatch_seconds.observe(dispatched.elapsed().as_secs_f64());
+                let keep = serve_ready(&mut conn, &shared.catalog, shared.config, queue_wait);
                 m.reactor_runq.dec();
                 if keep {
                     match shared.completions.send(conn) {

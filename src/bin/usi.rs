@@ -13,6 +13,7 @@
 //!           [--mmap] [--ingest-wal DIR] [--seal-threshold N]
 //!           [--compact-fanout F] [--segment-dir DIR]
 //!           [--slow-query-ms N] [--access-log off|text|json]
+//!           [--flight-slow-ms N] [--trace-capacity N]
 //!           [--max-connections N] [--idle-timeout-ms N] [--no-reactor]
 //! usi ingest <base.usix> --wal PATH [--seal-threshold N] [--compact-fanout F]
 //!           [--threads N] [--weight W] [--no-sync] [--mmap]
@@ -317,6 +318,17 @@ fn cmd_serve(args: &Args) {
         usi::server::AccessLog::parse(s)
             .unwrap_or_else(|| die("bad --access-log (expected off, text or json)"))
     });
+    // tracing knobs: requests whose whole lifetime exceeds the flight
+    // threshold (default: --slow-query-ms; errors always) land in the
+    // flight recorder at /debug/requests; trace-capacity resizes the
+    // span ring behind /v1/trace
+    let flight_slow_ms: Option<u64> = args
+        .flag("flight-slow-ms")
+        .map(|s| s.parse().unwrap_or_else(|_| die("bad --flight-slow-ms")));
+    if let Some(capacity) = args.flag("trace-capacity") {
+        let capacity: usize = capacity.parse().unwrap_or_else(|_| die("bad --trace-capacity"));
+        usi_obs::tracer().set_capacity(capacity.max(1));
+    }
     // connection-scale knobs: the reactor parks idle keep-alive sockets
     // in an epoll set (Linux; --no-reactor or other platforms fall back
     // to thread-per-connection), max-connections bounds the descriptor
@@ -396,8 +408,12 @@ fn cmd_serve(args: &Args) {
 
     let listener =
         TcpListener::bind(addr).unwrap_or_else(|e| die(&format!("cannot bind {addr}: {e}")));
-    let mut config =
-        ServerConfig { slow_query_ms, access_log, ..ServerConfig::with_workers(workers) };
+    let mut config = ServerConfig {
+        slow_query_ms,
+        flight_slow_ms,
+        access_log,
+        ..ServerConfig::with_workers(workers)
+    };
     if let Some(max) = max_connections {
         config.max_connections = max.max(1);
     }

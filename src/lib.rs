@@ -48,6 +48,7 @@ pub use usi_baselines as baselines;
 pub use usi_core as core;
 pub use usi_datasets as datasets;
 pub use usi_ingest as ingest;
+pub use usi_obs as obs;
 pub use usi_server as server;
 pub use usi_streams as streams;
 pub use usi_strings as strings;

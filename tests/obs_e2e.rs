@@ -26,15 +26,29 @@ fn sample_index(seed: u64, n: usize) -> UsiIndex {
     UsiBuilder::new().with_k(25).deterministic(seed).build(ws)
 }
 
-/// One blocking HTTP exchange; returns (status, body).
-fn exchange(addr: SocketAddr, request: &str) -> (u16, String) {
+/// One blocking HTTP exchange; returns (status, head, body).
+fn exchange_full(addr: SocketAddr, request: &str) -> (u16, String, String) {
     let mut stream = TcpStream::connect(addr).expect("connect to test server");
     stream.write_all(request.as_bytes()).unwrap();
     let mut response = String::new();
     stream.read_to_string(&mut response).unwrap();
     let (head, body) = response.split_once("\r\n\r\n").expect("complete response");
     let status: u16 = head.split(' ').nth(1).and_then(|s| s.parse().ok()).expect("status code");
-    (status, body.to_string())
+    (status, head.to_string(), body.to_string())
+}
+
+/// One blocking HTTP exchange; returns (status, body).
+fn exchange(addr: SocketAddr, request: &str) -> (u16, String) {
+    let (status, _, body) = exchange_full(addr, request);
+    (status, body)
+}
+
+/// The value of a response header (case-insensitive name).
+fn header(head: &str, name: &str) -> Option<String> {
+    head.lines().find_map(|line| {
+        let (k, v) = line.split_once(':')?;
+        k.eq_ignore_ascii_case(name).then(|| v.trim().to_string())
+    })
 }
 
 fn get(addr: SocketAddr, path: &str) -> (u16, String) {
@@ -206,4 +220,179 @@ fn metrics_and_trace_reflect_real_traffic() {
     assert!(parsed.get("dropped").and_then(Json::as_f64).is_some(), "trace: {body}");
 
     handle.shutdown();
+}
+
+/// The tentpole acceptance path: a slow query's `X-Request-Id` resolves
+/// via `GET /v1/trace/{id}` to a stage tree whose children sum to no
+/// more than the root span, the same id shows up in the flight recorder
+/// at `GET /debug/requests`, and the queue-wait histogram plus both
+/// drop counters are live in `/metrics`.
+#[test]
+fn request_ids_correlate_trace_flight_and_headers() {
+    let catalog = Arc::new(Catalog::new(2));
+    catalog.insert("tracy", sample_index(7, 400));
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    // slow_query_ms = 0 doubles as the flight threshold default, so
+    // every request is captured by the flight recorder
+    let config = ServerConfig { slow_query_ms: Some(0), ..ServerConfig::with_workers(2) };
+    let handle = serve(Arc::clone(&catalog), listener, config).unwrap();
+    let addr = handle.addr();
+
+    let body = r#"{"doc":"tracy","patterns":["ab","ba"]}"#;
+    let (status, head, _) = exchange_full(
+        addr,
+        &format!(
+            "POST /v1/query HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    );
+    assert_eq!(status, 200);
+    let id = header(&head, "X-Request-Id").expect("every response carries X-Request-Id");
+    assert_eq!(id.len(), 16, "ids are 16 hex digits: {id}");
+    assert!(id.bytes().all(|b| b.is_ascii_hexdigit()), "hex id: {id}");
+    let timing = header(&head, "Server-Timing").expect("routed responses carry Server-Timing");
+    assert!(timing.contains("engine;dur="), "Server-Timing lists stages: {timing}");
+
+    // ---- /v1/trace/{id}: the request's full stage tree -----------------
+    let (status, body) = get(addr, &format!("/v1/trace/{id}"));
+    assert_eq!(status, 200, "{body}");
+    let parsed = Json::parse(&body).unwrap();
+    assert_eq!(parsed.get("trace_id").and_then(Json::as_str), Some(&*id));
+    let root = parsed.get("root").expect("tree has a root span");
+    assert_eq!(root.get("name").and_then(Json::as_str), Some("http.request"));
+    let root_us = root.get("duration_us").and_then(Json::as_f64).expect("root duration");
+    let stages = parsed.get("stages").and_then(Json::as_array).expect("stages array");
+    let names: Vec<&str> =
+        stages.iter().filter_map(|s| s.get("name").and_then(Json::as_str)).collect();
+    for expected in ["queue", "parse", "engine", "serialize", "write"] {
+        assert!(names.contains(&expected), "stage {expected} missing from {names:?}");
+    }
+    let child_sum: f64 =
+        stages.iter().filter_map(|s| s.get("duration_us").and_then(Json::as_f64)).sum();
+    assert!(
+        child_sum <= root_us,
+        "stages must nest inside the root: {child_sum}us > {root_us}us in {body}"
+    );
+    for stage in stages {
+        assert_eq!(stage.get("parent").and_then(Json::as_str), Some("http.request"), "{body}");
+    }
+
+    // ---- /debug/requests: the flight recorder holds the same id --------
+    let (status, body) = get(addr, "/debug/requests");
+    assert_eq!(status, 200);
+    let parsed = Json::parse(&body).unwrap();
+    let requests = parsed.get("requests").and_then(Json::as_array).expect("requests array");
+    assert!(
+        requests.iter().any(|r| r.get("trace_id").and_then(Json::as_str) == Some(&*id)),
+        "flight recorder must hold {id}: {body}"
+    );
+
+    // an induced 404 is always captured (status >= 400), filterable by id
+    let (status, head, _) = exchange_full(
+        addr,
+        "GET /v1/definitely-not-a-route HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 404);
+    let err_id = header(&head, "X-Request-Id").expect("errors carry ids too");
+    assert_ne!(err_id, id, "ids are unique per request");
+    let (_, body) = get(addr, "/debug/requests");
+    assert!(body.contains(&err_id), "404 {err_id} must reach the flight recorder: {body}");
+
+    // ---- /metrics: queue-wait histogram and both drop counters ---------
+    let (status, metrics) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(
+        sample(&metrics, "usi_pool_queue_wait_seconds_count").is_some_and(|v| v >= 1.0),
+        "queue-wait histogram:\n{metrics}"
+    );
+    assert!(
+        sample(&metrics, "usi_trace_dropped_total").is_some(),
+        "trace drop counter:\n{metrics}"
+    );
+    assert!(
+        sample(&metrics, "usi_flight_dropped_total").is_some(),
+        "flight drop counter:\n{metrics}"
+    );
+
+    handle.shutdown();
+}
+
+/// Spawns the real binary and proves the id a client reads from
+/// `X-Request-Id` is the same one the JSON access log emits — the
+/// cross-machine correlation story (client header ↔ server log).
+#[test]
+fn access_log_lines_carry_the_request_id() {
+    use std::io::BufRead;
+    use std::process::{Command, Stdio};
+
+    let dir = std::env::temp_dir().join("usi-obs-e2e-log");
+    std::fs::create_dir_all(&dir).unwrap();
+    let text_path = dir.join("corpus.txt");
+    std::fs::write(&text_path, b"abracadabra".repeat(40)).unwrap();
+    let index_path = dir.join("corpus.usix");
+    let built = Command::new(env!("CARGO_BIN_EXE_usi"))
+        .args([
+            "build",
+            text_path.to_str().unwrap(),
+            "--k",
+            "8",
+            "--seed",
+            "7",
+            "-o",
+            index_path.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap();
+    assert!(built.success());
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_usi"))
+        .args([
+            "serve",
+            index_path.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--access-log",
+            "json",
+            "--slow-query-ms",
+            "0",
+            "--flight-slow-ms",
+            "0",
+            "--trace-capacity",
+            "64",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let stdin = child.stdin.take().unwrap();
+    let mut stderr = std::io::BufReader::new(child.stderr.take().unwrap());
+
+    // the startup banner names the bound address (we asked for port 0)
+    let addr: SocketAddr = loop {
+        let mut line = String::new();
+        assert_ne!(stderr.read_line(&mut line).unwrap(), 0, "server exited before banner");
+        if let Some(rest) = line.split("http://").nth(1) {
+            break rest.split_whitespace().next().unwrap().parse().unwrap();
+        }
+    };
+
+    let (status, head, _) =
+        exchange_full(addr, "GET /healthz HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n");
+    assert_eq!(status, 200);
+    let id = header(&head, "X-Request-Id").expect("X-Request-Id over the wire");
+
+    drop(stdin); // EOF → graceful shutdown flushes the logs
+    let mut rest = String::new();
+    stderr.read_to_string(&mut rest).unwrap();
+    assert!(child.wait().unwrap().success(), "server exit: {rest}");
+    let log_line = rest
+        .lines()
+        .find(|l| l.contains(r#""path":"/healthz""#))
+        .unwrap_or_else(|| panic!("access log line for /healthz in: {rest}"));
+    assert!(
+        log_line.contains(&format!(r#""request_id":"{id}""#)),
+        "access log must carry the client-visible id {id}: {log_line}"
+    );
 }
