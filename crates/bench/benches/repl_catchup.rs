@@ -1,0 +1,84 @@
+//! Follower catch-up rate: how fast a replica replays shipped WAL
+//! records into a serving [`FollowerDoc`]. Two costs are separated:
+//!
+//! * `parse_only` — the wire floor: re-parsing (framing + CRC) every
+//!   shipped record, what the follower pays even before indexing;
+//! * `apply_records` — the full catch-up path: parse, append into the
+//!   replaying index, compact to quiescence.
+//!
+//! Elements/sec here is records/sec — divide a primary's append rate by
+//! it to size the steady-state replication lag. Tracked by the nightly
+//! gate via `ci/nightly-thresholds.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use usi_core::UsiBuilder;
+use usi_datasets::Dataset;
+use usi_ingest::{wal, IngestOptions, Wal};
+use usi_repl::FollowerDoc;
+
+/// Letters already indexed when replication starts.
+const BASE: usize = 1 << 14; // 16 Ki
+/// Shipped records per measured catch-up.
+const RECORDS: usize = 256;
+/// Letters per shipped record.
+const RECORD_LEN: usize = 32;
+
+/// Encodes `RECORDS` append batches exactly as a primary's WAL does and
+/// returns the raw record bytes (the shipped stream, magic stripped).
+fn shipped_bytes() -> Vec<u8> {
+    let ws = Dataset::Hum.generate(RECORDS * RECORD_LEN, 23);
+    let dir = std::env::temp_dir().join(format!("usi-repl-catchup-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("stream.usil");
+    let _ = std::fs::remove_file(&path);
+    let (mut w, _) = Wal::open(&path, false).unwrap();
+    for i in 0..RECORDS {
+        let lo = i * RECORD_LEN;
+        w.append(&ws.text()[lo..lo + RECORD_LEN], &ws.weights()[lo..lo + RECORD_LEN]).unwrap();
+    }
+    let bytes = std::fs::read(&path).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    bytes[wal::MAGIC.len()..].to_vec()
+}
+
+fn bench_repl_catchup(c: &mut Criterion) {
+    let base = UsiBuilder::new()
+        .with_k(BASE / 200)
+        .deterministic(3)
+        .build(Dataset::Hum.generate(BASE, 22));
+    let bytes = shipped_bytes();
+    let opts =
+        IngestOptions { seal_threshold: 1 << 10, compact_fanout: 4, ..IngestOptions::default() };
+
+    let mut group = c.benchmark_group("repl_catchup");
+    group.sample_size(5);
+    group.throughput(Throughput::Elements(RECORDS as u64));
+
+    group.bench_function("parse_only", |b| {
+        b.iter(|| {
+            let mut pos = 0;
+            let mut letters = 0usize;
+            let mut records = 0u64;
+            while let Some((rec, next)) = wal::parse_record_at(&bytes, pos) {
+                letters += rec.text.len();
+                records += 1;
+                pos = next;
+            }
+            assert_eq!(records, RECORDS as u64);
+            letters
+        })
+    });
+
+    group.bench_function("apply_records", |b| {
+        b.iter(|| {
+            let doc = FollowerDoc::new("bench", base.clone(), opts.clone());
+            doc.apply_records(wal::MAGIC.len() as u64, &bytes).unwrap();
+            doc.applied_records()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_repl_catchup);
+criterion_main!(benches);

@@ -49,4 +49,7 @@ pub mod wal;
 
 pub use index::{CompactionPlan, IngestIndex, IngestOptions, Segment};
 pub use pipeline::{IngestConfig, IngestError, IngestPipeline, IngestStats};
-pub use wal::{replay_bytes, replay_file, Replay, Wal, WalError, WalRecord};
+pub use wal::{
+    parse_record_at, read_tail, replay_bytes, replay_file, Replay, TailChunk, Wal, WalError,
+    WalRecord,
+};

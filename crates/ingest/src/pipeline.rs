@@ -322,6 +322,14 @@ impl IngestPipeline {
         f(&self.state.read().expect("ingest state lock poisoned"))
     }
 
+    /// The write-ahead log's path and committed clean length, the view
+    /// a WAL shipper tails: every byte below the returned length is a
+    /// whole, CRC-valid record already acknowledged to a writer.
+    pub fn wal_view(&self) -> (std::path::PathBuf, u64) {
+        let wal = self.wal.lock().expect("wal lock poisoned");
+        (wal.path().to_path_buf(), wal.bytes())
+    }
+
     /// Bounded-staleness statistics.
     pub fn stats(&self) -> IngestStats {
         let wal_bytes = self.wal.lock().expect("wal lock poisoned").bytes();

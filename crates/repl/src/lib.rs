@@ -1,0 +1,45 @@
+//! `usi_repl` — log-shipping replication for the Useful String Indexing
+//! serving layer: one writable primary, any number of read-only
+//! followers, and a remote backend that lets a front end fan queries
+//! over them.
+//!
+//! The design is the classic primary/standby WAL-streaming scheme
+//! applied to the paper's weighted-substring indexes. Three staged
+//! seams made it possible without touching the query path:
+//!
+//! * the `.usil` WAL (`usi_ingest::wal`) is self-delimiting — every
+//!   record is length-prefixed and CRC'd, so raw record bytes can be
+//!   shipped as-is and **re-verified on the follower**;
+//! * the `QueryEngine` trait (`usi_core::engine`) lets a follower's
+//!   replaying index and a remote HTTP proxy slot into
+//!   `usi_server::Doc` like any local index;
+//! * `usi_core::merge` gives per-shard accumulators one associative
+//!   merge, so a fan-out front end combines remote shards exactly as a
+//!   single process combines local documents.
+//!
+//! Modules:
+//!
+//! * [`proto`] — the length-prefixed replication wire protocol
+//!   (hello/ack handshake, record frames, heartbeats);
+//! * [`ship`] — the primary-side shipper: one TCP listener, a stream
+//!   per follower, tailing each document's WAL by committed offset;
+//! * [`follow`] — the follower: replays received records into per-doc
+//!   [`usi_ingest::IngestIndex`]es with reconnect/backoff (or watches a
+//!   shipped-WAL directory), serving reads the whole time with bounded,
+//!   observable staleness (`usi_repl_lag_records` /
+//!   `usi_repl_lag_seconds`);
+//! * [`remote`] — [`remote::RemoteDoc`], a `QueryEngine` speaking the
+//!   JSON HTTP API with connection reuse and per-request deadlines.
+//!
+//! Everything is std-only, like the rest of the workspace.
+
+pub mod follow;
+pub(crate) mod metrics;
+pub mod proto;
+pub mod remote;
+pub mod ship;
+
+pub use follow::{FollowSource, Follower, FollowerConfig, FollowerDoc, FollowerStatus};
+pub use proto::{Ack, AckStatus, Frame, Hello};
+pub use remote::RemoteDoc;
+pub use ship::{Shipper, ShipperConfig, WalSource};

@@ -1,0 +1,372 @@
+//! The primary-side WAL shipper.
+//!
+//! One TCP listener accepts follower connections; each connection
+//! replicates one document, driven by a dedicated thread that tails the
+//! document's `.usil` WAL:
+//!
+//! * behind → read the next chunk of **whole records** from the
+//!   committed prefix ([`usi_ingest::read_tail`] never splits a record)
+//!   and send it verbatim in a `Records` frame;
+//! * caught up → send a `Heartbeat` with the committed state and sleep
+//!   one poll interval.
+//!
+//! The shipper never blocks the write path: it reads the WAL file
+//! independently of the appending pipeline, which only has to reveal
+//! `(path, committed length)` through the [`WalSource`] seam. Committed
+//! record *counts* (for acks, heartbeats and lag gauges) are maintained
+//! incrementally per document — each committed byte is parsed once per
+//! process, not once per follower poll.
+
+use crate::metrics;
+use crate::proto::{self, Ack, AckStatus, Frame, MAX_DOC_ID};
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use usi_ingest::wal;
+
+/// Where the shipper finds a document's WAL. Implemented for
+/// [`usi_server::Catalog`], so `Arc<Catalog>` coerces straight into the
+/// shipper; tests implement it over a bare path map.
+pub trait WalSource: Send + Sync {
+    /// The WAL path and committed clean length for `doc`, or `None`
+    /// when the document is unknown or not ingest-enabled.
+    fn wal(&self, doc: &str) -> Option<(PathBuf, u64)>;
+}
+
+impl WalSource for usi_server::Catalog {
+    fn wal(&self, doc: &str) -> Option<(PathBuf, u64)> {
+        self.get(doc)?.wal_view()
+    }
+}
+
+/// Shipper tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ShipperConfig {
+    /// How often a caught-up stream re-checks the WAL (and heartbeats).
+    pub poll_interval: Duration,
+    /// Target bytes per `Records` frame (grows transparently when a
+    /// single record is larger).
+    pub max_chunk: usize,
+}
+
+impl Default for ShipperConfig {
+    fn default() -> Self {
+        Self { poll_interval: Duration::from_millis(50), max_chunk: 1024 * 1024 }
+    }
+}
+
+/// Incremental committed-record counter: remembers `(offset, records)`
+/// per document and only parses the bytes added since the last look.
+#[derive(Default)]
+struct RecordCounter {
+    parsed: Mutex<HashMap<String, (u64, u64)>>,
+}
+
+impl RecordCounter {
+    /// Records in the committed prefix `[0, committed)` of `doc`'s WAL.
+    fn records_at(
+        &self,
+        doc: &str,
+        path: &std::path::Path,
+        committed: u64,
+    ) -> Result<u64, wal::WalError> {
+        let mut parsed = self.parsed.lock().expect("record counter lock poisoned");
+        let entry = parsed.entry(doc.to_string()).or_insert((wal::MAGIC.len() as u64, 0));
+        // a shrunk WAL (torn-tail truncation on primary restart) resets
+        // the incremental scan
+        if entry.0 > committed {
+            *entry = (wal::MAGIC.len() as u64, 0);
+        }
+        while entry.0 < committed {
+            let chunk = wal::read_tail(path, entry.0, committed, 1024 * 1024)?;
+            if chunk.records == 0 {
+                break;
+            }
+            *entry = (chunk.end, entry.1 + chunk.records);
+        }
+        Ok(entry.1)
+    }
+}
+
+/// A running primary-side shipper; [`Shipper::shutdown`] stops the
+/// accept loop and joins every streaming thread.
+pub struct Shipper {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    streams: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Shipper {
+    /// Starts shipping `source`'s WALs to whoever connects to
+    /// `listener`.
+    pub fn start(
+        listener: TcpListener,
+        source: Arc<dyn WalSource>,
+        config: ShipperConfig,
+    ) -> io::Result<Self> {
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let streams: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::default();
+        let counter = Arc::new(RecordCounter::default());
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let streams = Arc::clone(&streams);
+            std::thread::Builder::new().name("usi-repl-accept".into()).spawn(move || {
+                for conn in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(conn) = conn else { continue };
+                    let source = Arc::clone(&source);
+                    let counter = Arc::clone(&counter);
+                    let stop = Arc::clone(&stop);
+                    let handle = std::thread::Builder::new()
+                        .name("usi-repl-stream".into())
+                        .spawn(move || {
+                            metrics::repl().followers.inc();
+                            let _ = stream_to_follower(conn, &*source, &counter, &stop, config);
+                            metrics::repl().followers.dec();
+                        })
+                        .expect("spawn replication stream thread");
+                    streams.lock().expect("stream registry poisoned").push(handle);
+                }
+            })?
+        };
+        Ok(Self { addr, stop, accept: Some(accept), streams })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, disconnects streams and joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // wake the blocking accept() with a throwaway connection
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake.ip() {
+                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect_timeout(&wake, Duration::from_secs(1));
+        if let Some(thread) = self.accept.take() {
+            let _ = thread.join();
+        }
+        let streams = std::mem::take(&mut *self.streams.lock().expect("stream registry poisoned"));
+        for handle in streams {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Shipper {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+/// Serves one follower connection: handshake, then tail the WAL until
+/// the socket drops or the shipper stops.
+fn stream_to_follower(
+    conn: TcpStream,
+    source: &dyn WalSource,
+    counter: &RecordCounter,
+    stop: &AtomicBool,
+    config: ShipperConfig,
+) -> io::Result<()> {
+    conn.set_write_timeout(Some(Duration::from_secs(10)))?;
+    conn.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let mut reader = BufReader::new(conn.try_clone()?);
+    let mut writer = BufWriter::new(conn);
+    let hello = proto::read_hello(&mut reader)?;
+    if hello.doc.len() > MAX_DOC_ID {
+        return Ok(());
+    }
+    let Some((path, committed)) = source.wal(&hello.doc) else {
+        proto::write_ack(
+            &mut writer,
+            &Ack { status: AckStatus::UnknownDoc, committed_bytes: 0, committed_records: 0 },
+        )?;
+        return Ok(());
+    };
+    let committed_records = counter
+        .records_at(&hello.doc, &path, committed)
+        .map_err(|e| io::Error::other(format!("counting WAL records: {e}")))?;
+    let header = wal::MAGIC.len() as u64;
+    // 0 means "from the start"; anything else must be a record boundary
+    // inside the committed prefix (read_tail re-validates alignment)
+    let mut offset = if hello.offset == 0 { header } else { hello.offset };
+    if offset < header || offset > committed {
+        proto::write_ack(
+            &mut writer,
+            &Ack { status: AckStatus::BadOffset, committed_bytes: committed, committed_records },
+        )?;
+        return Ok(());
+    }
+    proto::write_ack(
+        &mut writer,
+        &Ack { status: AckStatus::Ok, committed_bytes: committed, committed_records },
+    )?;
+
+    while !stop.load(Ordering::SeqCst) {
+        let Some((path, committed)) = source.wal(&hello.doc) else {
+            // the document vanished (catalog remove); end the stream
+            return Ok(());
+        };
+        if offset < committed {
+            let chunk = wal::read_tail(&path, offset, committed, config.max_chunk)
+                .map_err(|e| io::Error::other(format!("tailing WAL: {e}")))?;
+            if chunk.records > 0 {
+                proto::write_frame(
+                    &mut writer,
+                    &Frame::Records {
+                        start: offset,
+                        records: chunk.records as u32,
+                        bytes: chunk.bytes,
+                    },
+                )?;
+                metrics::repl().shipped_records_total.add(chunk.records);
+                metrics::repl().shipped_bytes_total.add(chunk.end - offset);
+                offset = chunk.end;
+                continue;
+            }
+        }
+        let committed_records = counter
+            .records_at(&hello.doc, &path, committed)
+            .map_err(|e| io::Error::other(format!("counting WAL records: {e}")))?;
+        proto::write_frame(
+            &mut writer,
+            &Frame::Heartbeat { committed_bytes: committed, committed_records },
+        )?;
+        writer.flush()?;
+        std::thread::sleep(config.poll_interval);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usi_ingest::Wal;
+
+    struct OneDoc {
+        path: PathBuf,
+        committed: Mutex<u64>,
+    }
+
+    impl WalSource for OneDoc {
+        fn wal(&self, doc: &str) -> Option<(PathBuf, u64)> {
+            (doc == "d").then(|| (self.path.clone(), *self.committed.lock().unwrap()))
+        }
+    }
+
+    fn temp_wal(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("usi-repl-ship-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn ships_records_heartbeats_and_resumes_by_offset() {
+        let path = temp_wal("ship.usil");
+        let (mut w, _) = Wal::open(&path, false).unwrap();
+        w.append(b"abc", &[1.0, 2.0, 3.0]).unwrap();
+        w.append(b"de", &[4.0, 5.0]).unwrap();
+        let committed = w.bytes();
+
+        let source = Arc::new(OneDoc { path: path.clone(), committed: Mutex::new(committed) });
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let shipper = Shipper::start(
+            listener,
+            source.clone() as Arc<dyn WalSource>,
+            ShipperConfig { poll_interval: Duration::from_millis(5), ..ShipperConfig::default() },
+        )
+        .unwrap();
+
+        // unknown docs are refused in the ack
+        let conn = TcpStream::connect(shipper.addr()).unwrap();
+        let mut r = BufReader::new(conn.try_clone().unwrap());
+        let mut wtr = BufWriter::new(conn);
+        proto::write_hello(&mut wtr, &proto::Hello { doc: "nope".into(), offset: 0 }).unwrap();
+        assert_eq!(proto::read_ack(&mut r).unwrap().status, AckStatus::UnknownDoc);
+
+        // offsets past the committed prefix are refused
+        let conn = TcpStream::connect(shipper.addr()).unwrap();
+        let mut r = BufReader::new(conn.try_clone().unwrap());
+        let mut wtr = BufWriter::new(conn);
+        proto::write_hello(&mut wtr, &proto::Hello { doc: "d".into(), offset: committed + 1 })
+            .unwrap();
+        assert_eq!(proto::read_ack(&mut r).unwrap().status, AckStatus::BadOffset);
+
+        // a from-scratch follower gets both records, then heartbeats
+        let conn = TcpStream::connect(shipper.addr()).unwrap();
+        let mut r = BufReader::new(conn.try_clone().unwrap());
+        let mut wtr = BufWriter::new(conn);
+        proto::write_hello(&mut wtr, &proto::Hello { doc: "d".into(), offset: 0 }).unwrap();
+        let ack = proto::read_ack(&mut r).unwrap();
+        assert_eq!(ack.status, AckStatus::Ok);
+        assert_eq!(ack.committed_bytes, committed);
+        assert_eq!(ack.committed_records, 2);
+        let Frame::Records { start, records, bytes } = proto::read_frame(&mut r).unwrap() else {
+            panic!("expected a records frame first");
+        };
+        assert_eq!(start, wal::MAGIC.len() as u64);
+        assert_eq!(records, 2);
+        // the shipped bytes re-parse with the WAL's own record parser
+        let (rec, next) = wal::parse_record_at(&bytes, 0).unwrap();
+        assert_eq!(rec.text, b"abc");
+        let (rec, end) = wal::parse_record_at(&bytes, next).unwrap();
+        assert_eq!(rec.text, b"de");
+        assert_eq!(end, bytes.len());
+        assert!(matches!(proto::read_frame(&mut r).unwrap(), Frame::Heartbeat { .. }));
+
+        // append more on the "primary": the stream picks it up
+        w.append(b"xyz", &[1.0; 3]).unwrap();
+        *source.committed.lock().unwrap() = w.bytes();
+        let frame = loop {
+            match proto::read_frame(&mut r).unwrap() {
+                Frame::Heartbeat { .. } => continue,
+                frame => break frame,
+            }
+        };
+        let Frame::Records { start, records, .. } = frame else {
+            panic!("expected the appended record");
+        };
+        assert_eq!(start, committed);
+        assert_eq!(records, 1);
+
+        // a resuming follower starts exactly at its offset
+        let conn = TcpStream::connect(shipper.addr()).unwrap();
+        let mut r2 = BufReader::new(conn.try_clone().unwrap());
+        let mut wtr2 = BufWriter::new(conn);
+        proto::write_hello(&mut wtr2, &proto::Hello { doc: "d".into(), offset: committed })
+            .unwrap();
+        let ack = proto::read_ack(&mut r2).unwrap();
+        assert_eq!(ack.status, AckStatus::Ok);
+        assert_eq!(ack.committed_records, 3);
+        let Frame::Records { start, records, .. } = proto::read_frame(&mut r2).unwrap() else {
+            panic!("expected the tail record");
+        };
+        assert_eq!(start, committed);
+        assert_eq!(records, 1);
+
+        shipper.shutdown();
+    }
+}

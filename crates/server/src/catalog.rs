@@ -28,12 +28,14 @@
 
 use std::collections::BTreeMap;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 use usi_core::index::IndexSize;
-use usi_core::{merged_total, PersistError, QueryEngine, QuerySource, UsiIndex, UsiQuery};
+use usi_core::{
+    merge_accumulators, merged_total, PersistError, QueryEngine, QuerySource, UsiIndex, UsiQuery,
+};
 use usi_ingest::{IngestError, IngestPipeline, IngestStats};
 use usi_strings::{GlobalUtility, LruCache, UtilityAccumulator};
 
@@ -56,13 +58,95 @@ pub struct LoadOptions {
 const PATTERN_CACHE_CAPACITY: usize = 1024;
 
 /// What answers a document's queries.
-#[derive(Debug)]
 enum Backend {
     /// A frozen index loaded from a `.usix` file or built in-process.
     Static(UsiIndex),
     /// A live, append-able ingestion pipeline (WAL + segments + tail).
     Ingest(IngestPipeline),
+    /// Any other [`QueryEngine`] — a replication follower's replaying
+    /// index, a remote shard proxy, … The `Arc` lets the registrar keep
+    /// a handle for feeding the engine (e.g. applying shipped records)
+    /// while the catalog serves queries through it.
+    Engine(Arc<dyn QueryEngine + Send + Sync>),
 }
+
+impl std::fmt::Debug for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Static(index) => f.debug_tuple("Static").field(index).finish(),
+            Self::Ingest(pipeline) => f.debug_tuple("Ingest").field(pipeline).finish(),
+            Self::Engine(_) => f.write_str("Engine(..)"),
+        }
+    }
+}
+
+/// This process's place in a replication topology, reported by
+/// `/healthz` so probes and load balancers can tell writable primaries
+/// from read-only followers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Role {
+    /// No replication configured (the single-process default).
+    #[default]
+    Standalone,
+    /// Accepts appends and ships its WALs to followers.
+    Primary,
+    /// Replays a primary's WALs; serves reads, refuses appends.
+    Follower,
+}
+
+impl Role {
+    /// The wire name `/healthz` reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Standalone => "standalone",
+            Self::Primary => "primary",
+            Self::Follower => "follower",
+        }
+    }
+}
+
+/// Live replication facts a follower surfaces through `/healthz`.
+/// Implemented by `usi_repl`'s follower; the server only reads it.
+pub trait ReplicationStatus: Send + Sync {
+    /// Whether every replication stream is currently connected (or, for
+    /// directory watchers, has a readable source).
+    fn connected(&self) -> bool;
+    /// Shipped-but-unapplied records summed over all documents.
+    fn lag_records(&self) -> u64;
+}
+
+/// How to re-open a document for [`Catalog::reload`]: the `.usix` file
+/// it was loaded from and the load mode.
+#[derive(Debug, Clone)]
+struct ReloadSpec {
+    path: PathBuf,
+    mmap: bool,
+}
+
+/// Errors from [`Catalog::reload`].
+#[derive(Debug)]
+pub enum ReloadError {
+    /// The id is not loaded.
+    NoSuchDoc,
+    /// The document was not loaded from a `.usix` file (built
+    /// in-process, ingest-enabled, or an engine backend), so there is
+    /// nothing on disk to re-open.
+    NotReloadable,
+    /// Re-opening the file failed; the old document keeps serving.
+    Load(CatalogError),
+}
+
+impl std::fmt::Display for ReloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoSuchDoc => write!(f, "no such document"),
+            Self::NotReloadable => write!(f, "document was not loaded from a .usix file"),
+            Self::Load(e) => write!(f, "reload failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReloadError {}
 
 /// Errors from appending to a document.
 #[derive(Debug)]
@@ -89,6 +173,9 @@ impl std::error::Error for AppendError {}
 pub struct Doc {
     id: String,
     backend: Backend,
+    /// Where the document came from, when it can be re-opened for a
+    /// live reload; `None` for in-process and ingest-enabled documents.
+    source: Option<ReloadSpec>,
     /// Pattern → answer cache for the single-document hot path.
     cache: Mutex<LruCache<Vec<u8>, UsiQuery>>,
     /// Bumped (under the cache lock) on every append, so an in-flight
@@ -102,11 +189,12 @@ pub struct Doc {
 }
 
 impl Doc {
-    fn new(id: String, backend: Backend) -> Self {
+    fn new(id: String, backend: Backend, source: Option<ReloadSpec>) -> Self {
         let queries_total = crate::metrics::server().doc_queries.with(&[&id]);
         Self {
             id,
             backend,
+            source,
             cache: Mutex::new(LruCache::new(PATTERN_CACHE_CAPACITY)),
             generation: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
@@ -125,14 +213,14 @@ impl Doc {
     pub fn index(&self) -> Option<&UsiIndex> {
         match &self.backend {
             Backend::Static(index) => Some(index),
-            Backend::Ingest(_) => None,
+            Backend::Ingest(_) | Backend::Engine(_) => None,
         }
     }
 
     /// The live ingestion pipeline; `None` for frozen documents.
     pub fn ingest(&self) -> Option<&IngestPipeline> {
         match &self.backend {
-            Backend::Static(_) => None,
+            Backend::Static(_) | Backend::Engine(_) => None,
             Backend::Ingest(pipeline) => Some(pipeline),
         }
     }
@@ -150,7 +238,22 @@ impl Doc {
         match &self.backend {
             Backend::Static(index) => index,
             Backend::Ingest(pipeline) => pipeline,
+            Backend::Engine(engine) => engine.as_ref(),
         }
+    }
+
+    /// Whether answers may be cached in the pattern LRU. Engine-backed
+    /// documents (replication followers, remote shards) mutate without
+    /// going through [`Doc::append`], so there is no invalidation hook
+    /// — caching their answers would serve stale reads forever.
+    fn cacheable(&self) -> bool {
+        !matches!(self.backend, Backend::Engine(_))
+    }
+
+    /// The document's WAL file and its committed clean length, for
+    /// replication shippers. `None` unless ingest-enabled.
+    pub fn wal_view(&self) -> Option<(PathBuf, u64)> {
+        self.ingest().map(IngestPipeline::wal_view)
     }
 
     /// Total indexed letters (for ingest documents: base + segments +
@@ -175,6 +278,7 @@ impl Doc {
         match &self.backend {
             Backend::Static(index) => index.stats().tau,
             Backend::Ingest(pipeline) => pipeline.with_state(|s| s.base().stats().tau),
+            Backend::Engine(_) => None,
         }
     }
 
@@ -183,6 +287,7 @@ impl Doc {
         match &self.backend {
             Backend::Static(index) => index.stats().distinct_lengths,
             Backend::Ingest(pipeline) => pipeline.with_state(|s| s.base().stats().distinct_lengths),
+            Backend::Engine(_) => 0,
         }
     }
 
@@ -249,6 +354,32 @@ impl Doc {
     /// to computing each pattern directly.
     pub fn query_batch(&self, patterns: &[&[u8]], threads: usize) -> Vec<UsiQuery> {
         let engine_start = Instant::now();
+        let answers = if self.cacheable() {
+            self.query_batch_cached(patterns, threads)
+        } else {
+            self.queries_total.add(patterns.len() as u64);
+            crate::metrics::server().query_batch_size.observe(patterns.len() as f64);
+            self.compute_batch(patterns, threads)
+        };
+        // the engine stage of the enclosing request's trace (a no-op
+        // outside a request, where it lands in the global span ring)
+        if usi_obs::enabled() {
+            usi_obs::record_stage(
+                usi_obs::SpanGuard::since("engine", engine_start)
+                    .parent("http.request")
+                    .field("doc", &*self.id)
+                    .field("batch", patterns.len().to_string())
+                    .finish(),
+            );
+        }
+        answers
+    }
+
+    /// The cacheable-backend arm of [`Doc::query_batch`]: cached
+    /// patterns are served from the LRU, misses go to the backend, and
+    /// fresh answers are inserted unless an append invalidated the
+    /// document meanwhile.
+    fn query_batch_cached(&self, patterns: &[&[u8]], threads: usize) -> Vec<UsiQuery> {
         let mut answers: Vec<Option<UsiQuery>> = vec![None; patterns.len()];
         let mut miss_at: Vec<usize> = Vec::new();
         let generation = self.generation.load(Ordering::SeqCst);
@@ -285,17 +416,6 @@ impl Doc {
                 answers[i] = Some(answer);
             }
         }
-        // the engine stage of the enclosing request's trace (a no-op
-        // outside a request, where it lands in the global span ring)
-        if usi_obs::enabled() {
-            usi_obs::record_stage(
-                usi_obs::SpanGuard::since("engine", engine_start)
-                    .parent("http.request")
-                    .field("doc", &*self.id)
-                    .field("batch", patterns.len().to_string())
-                    .finish(),
-            );
-        }
         answers.into_iter().map(|a| a.expect("every pattern answered")).collect()
     }
 
@@ -323,6 +443,13 @@ pub struct FanOut {
     /// when the documents disagree on the aggregator (the merge would
     /// be meaningless) or the merged aggregate is undefined.
     pub total_value: Option<f64>,
+    /// The raw merged accumulator, so remote callers (a fan-out front
+    /// end proxying this catalog as one shard) can merge further
+    /// without losing the min/max/sum components.
+    pub total_acc: UtilityAccumulator,
+    /// The utility function shared by every document, when they agree;
+    /// `None` on an empty catalog or when aggregators are mixed.
+    pub utility: Option<GlobalUtility>,
 }
 
 /// Errors raised while loading documents into a [`Catalog`].
@@ -353,9 +480,22 @@ type Shard = RwLock<BTreeMap<String, Arc<Doc>>>;
 
 /// The sharded registry. Cheap to share: wrap it in an `Arc` and hand
 /// clones to server workers.
-#[derive(Debug)]
 pub struct Catalog {
     shards: Vec<Shard>,
+    /// This process's replication role, surfaced by `/healthz`.
+    role: RwLock<Role>,
+    /// Follower-side replication status, when this process follows a
+    /// primary; read by `/healthz`.
+    replication: RwLock<Option<Arc<dyn ReplicationStatus>>>,
+}
+
+impl std::fmt::Debug for Catalog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Catalog")
+            .field("shards", &self.shards)
+            .field("role", &self.role())
+            .finish_non_exhaustive()
+    }
 }
 
 /// FNV-1a over the id bytes: stable across processes, so shard
@@ -372,7 +512,33 @@ fn shard_hash(id: &str) -> u64 {
 impl Catalog {
     /// Creates a catalog with `shards` shards (clamped to ≥ 1).
     pub fn new(shards: usize) -> Self {
-        Self { shards: (0..shards.max(1)).map(|_| RwLock::new(BTreeMap::new())).collect() }
+        Self {
+            shards: (0..shards.max(1)).map(|_| RwLock::new(BTreeMap::new())).collect(),
+            role: RwLock::new(Role::Standalone),
+            replication: RwLock::new(None),
+        }
+    }
+
+    /// Declares this process's replication role (default
+    /// [`Role::Standalone`]).
+    pub fn set_role(&self, role: Role) {
+        *self.role.write().expect("role lock poisoned") = role;
+    }
+
+    /// This process's replication role.
+    pub fn role(&self) -> Role {
+        *self.role.read().expect("role lock poisoned")
+    }
+
+    /// Installs the follower-side replication status source `/healthz`
+    /// reports from.
+    pub fn set_replication(&self, status: Arc<dyn ReplicationStatus>) {
+        *self.replication.write().expect("replication lock poisoned") = Some(status);
+    }
+
+    /// The installed replication status source, if any.
+    pub fn replication(&self) -> Option<Arc<dyn ReplicationStatus>> {
+        self.replication.read().expect("replication lock poisoned").clone()
     }
 
     /// Number of shards.
@@ -384,8 +550,8 @@ impl Catalog {
         &self.shards[(shard_hash(id) % self.shards.len() as u64) as usize]
     }
 
-    fn register(&self, id: String, backend: Backend) -> Arc<Doc> {
-        let doc = Arc::new(Doc::new(id.clone(), backend));
+    fn register(&self, id: String, backend: Backend, source: Option<ReloadSpec>) -> Arc<Doc> {
+        let doc = Arc::new(Doc::new(id.clone(), backend, source));
         self.shard_of(&id).write().expect("shard lock poisoned").insert(id, Arc::clone(&doc));
         doc
     }
@@ -394,7 +560,7 @@ impl Catalog {
     /// raw text + weights or loaded elsewhere. Returns the shared
     /// handle.
     pub fn insert(&self, id: impl Into<String>, index: UsiIndex) -> Arc<Doc> {
-        self.register(id.into(), Backend::Static(index))
+        self.register(id.into(), Backend::Static(index), None)
     }
 
     /// Inserts (or replaces) a live ingest-enabled document: queries
@@ -402,7 +568,37 @@ impl Catalog {
     /// (or [`Doc::append`]) grows it durably through the pipeline's
     /// write-ahead log.
     pub fn insert_ingest(&self, id: impl Into<String>, pipeline: IngestPipeline) -> Arc<Doc> {
-        self.register(id.into(), Backend::Ingest(pipeline))
+        self.register(id.into(), Backend::Ingest(pipeline), None)
+    }
+
+    /// Inserts (or replaces) a document answered by an arbitrary
+    /// [`QueryEngine`] — a replication follower's replaying index, a
+    /// remote shard proxy. The caller keeps its own `Arc` to feed the
+    /// engine; the catalog serves queries through it (bypassing the
+    /// pattern cache, since such engines mutate without append
+    /// notifications).
+    pub fn insert_engine(
+        &self,
+        id: impl Into<String>,
+        engine: Arc<dyn QueryEngine + Send + Sync>,
+    ) -> Arc<Doc> {
+        self.register(id.into(), Backend::Engine(engine), None)
+    }
+
+    /// Live reload: re-opens the `.usix` file a document was loaded
+    /// from and atomically swaps the new view in under the same id.
+    /// In-flight queries hold an `Arc` to the old document and complete
+    /// against the old (immutable) view; the old mapping is unmapped
+    /// when the last such query drops it. On any failure the old
+    /// document keeps serving untouched.
+    pub fn reload(&self, id: &str) -> Result<Arc<Doc>, ReloadError> {
+        let doc = self.get(id).ok_or(ReloadError::NoSuchDoc)?;
+        let spec = doc.source.clone().ok_or(ReloadError::NotReloadable)?;
+        // parse fully before touching the registry: a corrupt or
+        // half-written file must leave the serving doc in place
+        let (_, index) = Self::parse_usix(&spec.path, spec.mmap).map_err(ReloadError::Load)?;
+        crate::metrics::server().catalog_reloads_total.inc();
+        Ok(self.register(id.to_string(), Backend::Static(index), Some(spec)))
     }
 
     /// Reads and validates one `.usix` file without touching the
@@ -434,7 +630,8 @@ impl Catalog {
     /// [`Catalog::load_usix`] with explicit [`LoadOptions`].
     pub fn load_usix_with(&self, path: &Path, opts: LoadOptions) -> Result<Arc<Doc>, CatalogError> {
         let (id, index) = Self::parse_usix(path, opts.mmap)?;
-        Ok(self.insert(id, index))
+        let spec = ReloadSpec { path: path.to_path_buf(), mmap: opts.mmap };
+        Ok(self.register(id, Backend::Static(index), Some(spec)))
     }
 
     /// Loads one `.usix` file straight into an ingest-enabled document
@@ -545,8 +742,9 @@ impl Catalog {
             docs.push(result?);
         }
         let mut ids = Vec::with_capacity(docs.len());
-        for (id, index) in docs {
-            self.insert(&id, index);
+        for ((id, index), file) in docs.into_iter().zip(&files) {
+            let spec = ReloadSpec { path: file.clone(), mmap: opts.mmap };
+            self.register(id.clone(), Backend::Static(index), Some(spec));
             ids.push(id);
         }
         Ok(ids)
@@ -654,6 +852,8 @@ impl Catalog {
         };
 
         let utilities: Vec<GlobalUtility> = docs.iter().map(|d| d.utility()).collect();
+        let shared_utility =
+            utilities.first().copied().filter(|u| utilities.iter().all(|v| v == u));
         let fans = (0..patterns.len())
             .map(|pi| {
                 let mut results = Vec::with_capacity(docs.len());
@@ -671,7 +871,14 @@ impl Catalog {
                 // merged through the shared helper the ingest layer
                 // also uses — one implementation of the merge semantics
                 let (total_occurrences, total_value) = merged_total(&parts);
-                FanOut { per_doc: results, total_occurrences, total_value }
+                let total_acc = merge_accumulators(parts.iter().map(|(_, acc)| acc));
+                FanOut {
+                    per_doc: results,
+                    total_occurrences,
+                    total_value,
+                    total_acc,
+                    utility: shared_utility,
+                }
             })
             .collect();
         // the fan-out engine stage: doc="*" plus how wide it spread (a

@@ -17,6 +17,7 @@
 use crate::catalog::FanOut;
 use std::fmt;
 use usi_core::{QuerySource, UsiQuery};
+use usi_strings::{GlobalAggregator, GlobalUtility, LocalWindow, UtilityAccumulator};
 
 /// Maximum nesting depth the parser accepts (stack-overflow guard).
 const MAX_DEPTH: usize = 64;
@@ -88,6 +89,14 @@ impl Json {
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
             _ => None,
         }
     }
@@ -250,6 +259,123 @@ pub fn fan_out_response_json(patterns: &[&[u8]], fans: &[FanOut]) -> Json {
     let results =
         patterns.iter().zip(fans).map(|(p, fan)| fan_out_json(p, fan)).collect::<Vec<_>>();
     Json::Obj(vec![("doc".into(), Json::str("*")), ("results".into(), Json::Arr(results))])
+}
+
+// ---------------------------------------------------------------------
+// Accumulator-carrying variants (`"acc": true` requests): the raw
+// `[sum, min, max, count]` components plus the utility function travel
+// with each answer, so a fan-out front end can merge remote shards
+// through `usi_core::merge` exactly as it merges local documents.
+// ---------------------------------------------------------------------
+
+/// A raw accumulator as `[sum, min, max, count]`. An *empty*
+/// accumulator carries `min = +∞` / `max = −∞` (the fold identities),
+/// which JSON cannot represent — it travels as `[0, null, null, 0]`.
+pub fn acc_json(acc: &UtilityAccumulator) -> Json {
+    let (sum, min, max, count) = acc.to_raw();
+    if count == 0 {
+        return Json::Arr(vec![Json::Num(0.0), Json::Null, Json::Null, Json::Num(0.0)]);
+    }
+    Json::Arr(vec![Json::Num(sum), Json::Num(min), Json::Num(max), Json::Num(count as f64)])
+}
+
+/// Parses [`acc_json`]'s encoding back into an accumulator.
+pub fn acc_from_json(v: &Json) -> Option<UtilityAccumulator> {
+    let items = v.as_array()?;
+    let [sum, min, max, count] = items else { return None };
+    let count = count.as_f64()?;
+    if count < 0.0 || count.fract() != 0.0 {
+        return None;
+    }
+    if count == 0.0 {
+        return Some(UtilityAccumulator::new());
+    }
+    Some(UtilityAccumulator::from_raw(sum.as_f64()?, min.as_f64()?, max.as_f64()?, count as u64))
+}
+
+/// The wire name of a local window function.
+pub fn local_window_name(local: LocalWindow) -> &'static str {
+    match local {
+        LocalWindow::Sum => "sum",
+        LocalWindow::Product => "product",
+    }
+}
+
+/// A utility function as `{"aggregator","local"}` wire names.
+pub fn utility_json(utility: GlobalUtility) -> Json {
+    Json::Obj(vec![
+        ("aggregator".into(), Json::str(utility.aggregator.name())),
+        ("local".into(), Json::str(local_window_name(utility.local))),
+    ])
+}
+
+/// Parses [`utility_json`]'s encoding back into a utility function.
+pub fn utility_from_json(v: &Json) -> Option<GlobalUtility> {
+    let aggregator = match v.get("aggregator")?.as_str()? {
+        "sum" => GlobalAggregator::Sum,
+        "min" => GlobalAggregator::Min,
+        "max" => GlobalAggregator::Max,
+        "avg" => GlobalAggregator::Avg,
+        "count" => GlobalAggregator::Count,
+        _ => return None,
+    };
+    let local = match v.get("local")?.as_str()? {
+        "sum" => LocalWindow::Sum,
+        "product" => LocalWindow::Product,
+        _ => return None,
+    };
+    Some(GlobalUtility::with_parts(aggregator, local))
+}
+
+/// The `POST /v1/query` response body for a single-document query with
+/// `"acc": true`: each result carries its raw accumulator, and the
+/// document's utility function rides along so the caller can finish or
+/// merge the accumulators itself.
+pub fn query_acc_response_json(
+    doc: &str,
+    patterns: &[&[u8]],
+    answers: &[(UtilityAccumulator, QuerySource)],
+    utility: GlobalUtility,
+) -> Json {
+    let results = patterns
+        .iter()
+        .zip(answers)
+        .map(|(p, (acc, source))| {
+            Json::Obj(vec![
+                ("pattern".into(), Json::Str(pattern_string(p))),
+                ("occurrences".into(), Json::Num(acc.count() as f64)),
+                ("value".into(), acc.finish(utility.aggregator).map_or(Json::Null, Json::Num)),
+                ("source".into(), Json::str(source_name(*source))),
+                ("acc".into(), acc_json(acc)),
+            ])
+        })
+        .collect::<Vec<_>>();
+    Json::Obj(vec![
+        ("doc".into(), Json::str(doc)),
+        ("results".into(), Json::Arr(results)),
+        ("utility".into(), utility_json(utility)),
+    ])
+}
+
+/// The `"doc": "*"` fan-out response with `"acc": true`: each result
+/// gains the catalog-wide merged accumulator, and the shared utility
+/// function (or `null` when documents disagree) rides along.
+pub fn fan_out_acc_response_json(patterns: &[&[u8]], fans: &[FanOut]) -> Json {
+    let results = patterns
+        .iter()
+        .zip(fans)
+        .map(|(p, fan)| {
+            let Json::Obj(mut members) = fan_out_json(p, fan) else { unreachable!() };
+            members.push(("acc".into(), acc_json(&fan.total_acc)));
+            Json::Obj(members)
+        })
+        .collect::<Vec<_>>();
+    let utility = fans.first().and_then(|f| f.utility).map_or(Json::Null, utility_json);
+    Json::Obj(vec![
+        ("doc".into(), Json::str("*")),
+        ("results".into(), Json::Arr(results)),
+        ("utility".into(), utility),
+    ])
 }
 
 struct Parser<'a> {

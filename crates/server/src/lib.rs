@@ -37,7 +37,10 @@ pub(crate) mod metrics;
 pub mod pool;
 pub(crate) mod reactor;
 
-pub use catalog::{AppendError, Catalog, CatalogError, Doc, FanOut, LoadOptions};
+pub use catalog::{
+    AppendError, Catalog, CatalogError, Doc, FanOut, LoadOptions, ReloadError, ReplicationStatus,
+    Role,
+};
 pub use http::{respond, serve, AccessLog, Response, ServerConfig, ServerHandle};
 pub use json::{Json, JsonError};
 pub use pool::WorkerPool;

@@ -21,6 +21,7 @@ const ROUTES: &[&str] = &[
     "/v1/docs",
     "/v1/docs/{id}/stats",
     "/v1/docs/{id}/append",
+    "/v1/docs/{id}/reload",
     "/v1/query",
     "/metrics",
     "/v1/trace",
@@ -68,6 +69,8 @@ pub(crate) struct ServerMetrics {
     pub cache_misses_total: Arc<Counter>,
     pub query_batch_size: Arc<Histogram>,
     pub fan_out_width: Arc<Histogram>,
+    /// `usi_catalog_reloads_total` — successful live `.usix` reloads.
+    pub catalog_reloads_total: Arc<Counter>,
 }
 
 impl ServerMetrics {
@@ -162,6 +165,8 @@ impl ServerMetrics {
                 "Documents touched by one fan-out query",
                 exponential_buckets(1.0, 2.0, 11),
             ),
+            catalog_reloads_total: registry
+                .counter("usi_catalog_reloads_total", "Successful live reloads of .usix documents"),
         }
     }
 
@@ -206,6 +211,7 @@ pub(crate) fn route_label(path: &str) -> &'static str {
         _ if crate::http::trace_sub_id(path).is_some() => "/v1/trace/{trace_id}",
         _ if crate::http::doc_sub_route(path, "stats") => "/v1/docs/{id}/stats",
         _ if crate::http::doc_sub_route(path, "append") => "/v1/docs/{id}/append",
+        _ if crate::http::doc_sub_route(path, "reload") => "/v1/docs/{id}/reload",
         _ => "other",
     }
 }
@@ -220,6 +226,7 @@ mod tests {
         assert_eq!(route_label("/metrics"), "/metrics");
         assert_eq!(route_label("/v1/docs/abc/stats"), "/v1/docs/{id}/stats");
         assert_eq!(route_label("/v1/docs/abc/append"), "/v1/docs/{id}/append");
+        assert_eq!(route_label("/v1/docs/abc/reload"), "/v1/docs/{id}/reload");
         assert_eq!(route_label("/v1/docs/a/b/stats"), "other");
         assert_eq!(route_label("/nope"), "other");
         assert_eq!(route_label("/v1/trace/00ff00ff00ff00ff"), "/v1/trace/{trace_id}");

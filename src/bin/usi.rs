@@ -6,7 +6,7 @@
 //!           [--seed N] [--threads N] -o OUT.usix
 //! usi query <OUT.usix> <pattern> [<pattern>…] [--json] [--mmap]
 //! usi stats <OUT.usix> [--mmap]
-//! usi inspect <OUT.usix>
+//! usi inspect <OUT.usix | WAL.usil>
 //! usi topk  <text-file> --k K [--min-len L]
 //! usi tradeoff <text-file> [--points N]
 //! usi serve <dir-or-.usix>… [--addr HOST:PORT] [--workers N] [--shards N]
@@ -15,6 +15,8 @@
 //!           [--slow-query-ms N] [--access-log off|text|json]
 //!           [--flight-slow-ms N] [--trace-capacity N]
 //!           [--max-connections N] [--idle-timeout-ms N] [--no-reactor]
+//!           [--repl-listen HOST:PORT] [--follow HOST:PORT | --follow-dir DIR]
+//!           [--shard HOST:PORT]… [--repl-poll-ms N]
 //! usi ingest <base.usix> --wal PATH [--seal-threshold N] [--compact-fanout F]
 //!           [--threads N] [--weight W] [--no-sync] [--mmap]
 //!           [--segment-dir DIR] [--json] [--replay [--query P]…]
@@ -37,6 +39,15 @@
 //! answers `--query` patterns (crash-recovery check), otherwise stdin
 //! lines `append <text>` / `appendw <w> <text>` / `query <p>` / `stats`
 //! drive the pipeline interactively.
+//!
+//! Replication (`usi_repl`): `--repl-listen` makes an ingest-enabled
+//! server a **primary** that streams its documents' WALs to followers;
+//! `usi serve base.usix --follow primary:port` runs a **follower** that
+//! replays the stream into live indexes (serving reads the whole time,
+//! staleness on `usi_repl_lag_records`); `--follow-dir` watches shipped
+//! `.usil` files instead of a TCP stream; `--shard addr` (repeatable,
+//! no local files needed) runs a **fan-out front end** whose documents
+//! are remote shards, merged through the usual `"doc": "*"` path.
 
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
@@ -300,8 +311,37 @@ fn usix_files(paths: &[String]) -> Vec<std::path::PathBuf> {
 }
 
 fn cmd_serve(args: &Args) {
-    if args.positional.is_empty() {
+    // replication topology flags (usi_repl): at most one role
+    let repl_listen = args.flag("repl-listen");
+    let follow = args.flag("follow");
+    let follow_dir = args.flag("follow-dir");
+    let shard_addrs = args.flags_all("shard");
+    let repl_poll = std::time::Duration::from_millis(
+        args.flag("repl-poll-ms")
+            .map_or(50, |s| s.parse().unwrap_or_else(|_| die("bad --repl-poll-ms"))),
+    );
+    if follow.is_some() && follow_dir.is_some() {
+        die("--follow and --follow-dir are mutually exclusive");
+    }
+    let follow_source = match (follow, follow_dir) {
+        (Some(addr), None) => Some(usi::repl::FollowSource::Tcp(addr.to_string())),
+        (None, Some(dir)) => Some(usi::repl::FollowSource::Dir(dir.into())),
+        _ => None,
+    };
+    if follow_source.is_some() && (repl_listen.is_some() || args.has("ingest-wal")) {
+        die("a follower is read-only: --follow conflicts with --repl-listen/--ingest-wal");
+    }
+    if !shard_addrs.is_empty() && (follow_source.is_some() || repl_listen.is_some()) {
+        die("--shard runs a front end; it cannot also be a primary or follower");
+    }
+    if repl_listen.is_some() && !args.has("ingest-wal") {
+        die("--repl-listen ships WALs and therefore requires --ingest-wal DIR");
+    }
+    if args.positional.is_empty() && shard_addrs.is_empty() {
         die("serve expects at least one .usix file or directory of .usix files");
+    }
+    if !args.positional.is_empty() && !shard_addrs.is_empty() {
+        die("--shard serves remote documents only; drop the local .usix arguments");
     }
     let shards: usize =
         args.flag("shards").map_or(8, |s| s.parse().unwrap_or_else(|_| die("bad --shards")));
@@ -345,7 +385,55 @@ fn cmd_serve(args: &Args) {
 
     let catalog = Arc::new(Catalog::new(shards));
     let mut seen = std::collections::HashSet::new();
-    if let Some(wal_dir) = &ingest_wal {
+    let mut follower: Option<usi::repl::Follower> = None;
+    if let Some(source) = &follow_source {
+        // follower: every .usix becomes a replaying FollowerDoc served
+        // through the catalog's engine backend (reads work the whole
+        // time; appends are refused — the primary owns the WAL)
+        let config = ingest_config(args);
+        let opts = IngestOptions {
+            seal_threshold: config.seal_threshold,
+            compact_fanout: config.compact_fanout,
+            threads: config.threads,
+            seed: config.seed,
+            segment_dir: None,
+        };
+        let mut docs = Vec::new();
+        for file in usix_files(&args.positional) {
+            let stem =
+                file.file_stem().map_or_else(String::new, |s| s.to_string_lossy().into_owned());
+            if !seen.insert(stem.clone()) {
+                die(&format!("duplicate document id {stem:?} (file stems must be unique)"));
+            }
+            let index = load_index(&file.display().to_string(), args.has("mmap"));
+            let doc = Arc::new(usi::repl::FollowerDoc::new(stem.clone(), index, opts.clone()));
+            catalog.insert_engine(stem, Arc::clone(&doc) as _);
+            docs.push(doc);
+        }
+        let running = usi::repl::Follower::start(
+            docs,
+            source,
+            usi::repl::FollowerConfig {
+                poll_interval: repl_poll,
+                ..usi::repl::FollowerConfig::default()
+            },
+        );
+        catalog.set_role(usi::server::Role::Follower);
+        catalog.set_replication(running.status());
+        follower = Some(running);
+    } else if !shard_addrs.is_empty() {
+        // fan-out front end: each shard's whole corpus ("*") appears as
+        // one remote document; "doc": "*" here merges across shards
+        for addr in &shard_addrs {
+            if !seen.insert((*addr).to_string()) {
+                die(&format!("duplicate --shard {addr}"));
+            }
+            let remote =
+                usi::repl::RemoteDoc::connect(*addr, "*", std::time::Duration::from_secs(5))
+                    .unwrap_or_else(|e| die(&format!("cannot reach shard {addr}: {e}")));
+            catalog.insert_engine((*addr).to_string(), Arc::new(remote) as _);
+        }
+    } else if let Some(wal_dir) = &ingest_wal {
         // every document is ingest-enabled: its index moves straight
         // into a pipeline (no transient static copy), its WAL lives at
         // DIR/<id>.usil and is replayed right now, and compaction runs
@@ -423,16 +511,41 @@ fn cmd_serve(args: &Args) {
     config.reactor = !no_reactor;
     let handle = usi::server::serve(Arc::clone(&catalog), listener, config)
         .unwrap_or_else(|e| die(&format!("cannot start server: {e}")));
+    let mut shipper = None;
+    if let Some(repl_addr) = repl_listen {
+        let repl_listener = TcpListener::bind(repl_addr)
+            .unwrap_or_else(|e| die(&format!("cannot bind --repl-listen {repl_addr}: {e}")));
+        let running = usi::repl::Shipper::start(
+            repl_listener,
+            Arc::clone(&catalog) as _,
+            usi::repl::ShipperConfig {
+                poll_interval: repl_poll,
+                ..usi::repl::ShipperConfig::default()
+            },
+        )
+        .unwrap_or_else(|e| die(&format!("cannot start replication shipper: {e}")));
+        catalog.set_role(usi::server::Role::Primary);
+        eprintln!("replication: shipping WALs to followers on {}", running.addr());
+        shipper = Some(running);
+    }
     eprintln!(
-        "serving {} doc(s) on http://{} with {workers} worker(s); stdin EOF or SIGINT stops",
+        "serving {} doc(s) on http://{} with {workers} worker(s) as {}; \
+         stdin EOF or SIGINT stops",
         catalog.len(),
-        handle.addr()
+        handle.addr(),
+        catalog.role().name(),
     );
 
     // Block until the controlling input closes, then shut down
     // gracefully (SIGINT terminates the process the default way).
     let _ = std::io::copy(&mut std::io::stdin().lock(), &mut std::io::sink());
     eprintln!("stdin closed, shutting down");
+    if let Some(shipper) = shipper.take() {
+        shipper.shutdown();
+    }
+    if let Some(follower) = follower.take() {
+        follower.shutdown();
+    }
     handle.shutdown();
 }
 
@@ -557,10 +670,12 @@ fn cmd_stats(args: &Args) {
     println!("total bytes\t{}", size.total());
 }
 
-/// `usi inspect <file.usix>`: header, section layout, checksum status.
-/// Runs the zero-copy open path, so every structural invariant the
-/// server would check is checked here — the debugging tool for a
-/// `.usix` file that refuses to load.
+/// `usi inspect <file.usix | file.usil>`: for an index file, header,
+/// section layout and checksum status via the zero-copy open path — the
+/// debugging tool for a `.usix` file that refuses to load. For an
+/// ingest/replication WAL, the recovery report: record count, the valid
+/// byte offset a follower would resume from, per-record CRC status and
+/// whether a torn tail would be dropped.
 fn cmd_inspect(args: &Args) {
     let [path] = &args.positional[..] else {
         die("inspect expects exactly one index file");
@@ -572,6 +687,12 @@ fn cmd_inspect(args: &Args) {
     println!("file\t{path}");
     println!("file bytes\t{}", bytes.len());
     println!("crc32\t{crc:#010x}");
+    // a `.usil` WAL (by extension or magic): print the recovery report
+    let wal_magic = bytes.starts_with(&usi::ingest::wal::MAGIC)
+        || (!bytes.is_empty() && usi::ingest::wal::MAGIC.starts_with(&bytes));
+    if Path::new(path).extension().is_some_and(|ext| ext == "usil") || wal_magic {
+        return inspect_wal(&bytes);
+    }
     let index = match usi::core::persist::open_mmap(Path::new(path)) {
         Ok(index) => index,
         Err(e) => {
@@ -604,6 +725,36 @@ fn cmd_inspect(args: &Args) {
     );
     println!("psw bytes (derived on load)\t{}", size.psw);
     println!("total bytes\t{}", size.total());
+}
+
+/// The `.usil` half of `inspect`: replays the bytes with the WAL's own
+/// crash-recovery parser and reports what a restart (or a follower
+/// resuming from this file) would see. A torn tail is recoverable —
+/// replay drops it — so it exits 0; a wrong magic exits 1.
+fn inspect_wal(bytes: &[u8]) {
+    println!("format\tUSIL v1 (ingest write-ahead log)");
+    let replay = match usi::ingest::wal::replay_bytes(bytes) {
+        Ok(replay) => replay,
+        Err(e) => {
+            println!("status\tcorrupt: {e}");
+            exit(1);
+        }
+    };
+    let letters: usize = replay.records.iter().map(|r| r.text.len()).sum();
+    println!("status\t{}", if replay.truncated { "torn tail (recoverable)" } else { "clean" });
+    println!("records\t{}", replay.records.len());
+    println!("letters\t{letters}");
+    println!("valid byte offset\t{}", replay.valid_len);
+    println!("crc status\tall {} record(s) verified", replay.records.len());
+    if replay.truncated {
+        println!(
+            "torn tail\t{} byte(s) past offset {} fail framing or CRC; replay drops them",
+            bytes.len() as u64 - replay.valid_len,
+            replay.valid_len
+        );
+    } else {
+        println!("torn tail\tnone");
+    }
 }
 
 fn cmd_topk(args: &Args) {

@@ -40,6 +40,7 @@
 //! | [`usi_datasets`] | synthetic corpora, utility generators, `W1`/`W2,p` workloads |
 //! | [`usi_ingest`] | WAL-durable append-log ingestion: sealed segments, tiered compaction |
 //! | [`usi_server`] | sharded multi-index catalog, batch queries, HTTP serving layer |
+//! | [`usi_repl`] | log-shipping replication: WAL shipper, followers, remote fan-out backend |
 //!
 //! See `DESIGN.md` for the paper-to-module map and `EXPERIMENTS.md` for
 //! the reproduced tables and figures.
@@ -49,6 +50,7 @@ pub use usi_core as core;
 pub use usi_datasets as datasets;
 pub use usi_ingest as ingest;
 pub use usi_obs as obs;
+pub use usi_repl as repl;
 pub use usi_server as server;
 pub use usi_streams as streams;
 pub use usi_strings as strings;

@@ -167,6 +167,8 @@ fn catalog_server_answers_match_direct_queries_byte_for_byte() {
                 per_doc,
                 total_occurrences: merged.count(),
                 total_value: merged.finish(indexes[0].utility().aggregator),
+                total_acc: merged,
+                utility: Some(indexes[0].utility()),
             }
         })
         .collect();
